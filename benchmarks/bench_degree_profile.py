@@ -1,0 +1,22 @@
+"""Section 2.3 — the degree-distribution profile motivating Tigr.
+
+"Over 90% of nodes have degrees less than 20 while less than 2% of
+nodes have degrees around 1000, up to 14,000."  The social-network
+stand-ins are generated to reproduce this regime.
+"""
+
+from repro.bench import degree_profile
+
+
+def test_degree_profile(run_once, bench_scale):
+    report = run_once(degree_profile, scale=bench_scale)
+    print()
+    print(report.to_text())
+    by_name = {r["dataset"]: r for r in report.rows}
+    for name in ("pokec", "livejournal", "sinaweibo"):
+        row = by_name[name]
+        assert float(row["frac_below_20"].rstrip("%")) > 85.0, name
+        assert float(row["frac_1000_plus"].rstrip("%")) < 2.0, name
+    # every dataset is heavy-tailed
+    for row in report.rows:
+        assert row["cv"] > 1.0, row["dataset"]

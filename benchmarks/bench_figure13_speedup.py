@@ -1,0 +1,26 @@
+"""Figure 13 — speedups of Tigr over the baseline engine (SSSP).
+
+Regenerates the per-dataset speedup bars for Tigr-UDT, Tigr-V and
+Tigr-V+ over the paper's own lightweight engine with Tigr disabled.
+Paper geomeans: 1.2x (UDT), 1.7x (V), 2.1x (V+).  Expected shape:
+V+ > V > UDT, all above 1, with V+ gaining ~15-30% over V from
+edge-array coalescing.
+"""
+
+from repro.bench import figure13_speedups
+
+
+def test_figure13(run_once, bench_scale):
+    report = run_once(figure13_speedups, scale=bench_scale)
+    print()
+    print(report.to_text())
+    udt = report.extras["geomean_tigr-udt"]
+    v = report.extras["geomean_tigr-v"]
+    vplus = report.extras["geomean_tigr-v+"]
+    assert vplus > v > udt > 1.0
+    # The coalescing increment (paper: 2.1/1.7 = 1.24x).
+    assert 1.05 < vplus / v < 1.5
+    # Every dataset individually benefits from the virtual transforms.
+    for row in report.rows:
+        assert row["tigr-v"] > 1.0, row["dataset"]
+        assert row["tigr-v+"] > 1.0, row["dataset"]

@@ -1,0 +1,37 @@
+"""Multi-GPU orthogonality (§7.2): Tigr composes with partitioning.
+
+The paper: "our proposed methods are orthogonal to these existing
+techniques" (TOTEM/Medusa-class multi-GPU systems).  Expected shape:
+per-device kernel time falls with device count; Tigr's kernel-time
+advantage survives at every device count; transfers grow with device
+count.  A second experiment repeats the core Figure 13 comparison on
+three device generations: the orderings are not artifacts of one
+hardware point.
+"""
+
+from repro.bench.orthogonality import device_generation_sweep, multigpu_orthogonality
+
+
+def test_multigpu_orthogonality(run_once, bench_scale):
+    report = run_once(multigpu_orthogonality, scale=bench_scale)
+    print()
+    print(report.to_text())
+    rows = {r["devices"]: r for r in report.rows}
+    for devices, row in rows.items():
+        assert row["tigr_kernel_speedup"] > 1.2, devices
+    assert rows[4]["base_kernel_ms"] < rows[1]["base_kernel_ms"]
+    assert rows[4]["transfer_bytes"] > rows[2]["transfer_bytes"] > 0
+    assert rows[1]["transfer_bytes"] == 0
+
+
+def test_device_generation_sweep(run_once, bench_scale):
+    report = run_once(device_generation_sweep, scale=bench_scale)
+    print()
+    print(report.to_text())
+    for row in report.rows:
+        # Tigr wins on every generation, with a real efficiency gap
+        assert row["speedup"] > 1.3, row["device"]
+        assert row["tigr_warp_eff"] > 2 * row["base_warp_eff"], row["device"]
+    # wider devices shrink absolute times
+    by_device = {r["device"]: r for r in report.rows}
+    assert by_device["a100-class"]["tigr_ms"] < by_device["p4000-class"]["tigr_ms"]

@@ -1,0 +1,25 @@
+"""Size-scaling: transformation-time linearity (§6.4) and persistent
+speedups across graph sizes."""
+
+from repro.bench.scaling import speedup_scaling, transform_scaling
+
+
+def test_transform_time_linear(run_once):
+    report = run_once(transform_scaling)
+    print()
+    print(report.to_text())
+    # "the transformation time is proportional to the size of the
+    # graph": log-log slope within a sane band around 1 for both.
+    assert 0.6 < report.extras["physical_slope"] < 1.5
+    assert 0.5 < report.extras["virtual_slope"] < 1.6
+    # physical stays the expensive one at every size
+    for row in report.rows:
+        assert row["physical_ms"] > row["virtual_ms"]
+
+
+def test_speedup_persists_across_sizes(run_once):
+    report = run_once(speedup_scaling)
+    print()
+    print(report.to_text())
+    for row in report.rows:
+        assert row["speedup"] > 1.3, row

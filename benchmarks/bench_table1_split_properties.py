@@ -1,0 +1,32 @@
+"""Table 1 — properties of split transformations.
+
+Regenerates every row of Table 1 (clique / circular / star, plus UDT)
+by physically transforming single high-degree nodes across a sweep of
+degrees and bounds, and checks the measured #new nodes / #new edges /
+family degree / max hops against the closed forms.
+"""
+
+from repro.bench import table1_split_properties
+
+
+def test_table1(run_once):
+    report = run_once(
+        table1_split_properties,
+        degrees=(10, 100, 1_000, 10_000, 100_000),
+        degree_bounds=(4, 10, 32),
+    )
+    print()
+    print(report.to_text())
+    # Expected shape: measurements equal the analytical Table 1 forms.
+    assert report.extras["all_match"]
+    # T_cliq space cost is quadratic, T_circ/T_star/UDT linear
+    # (compare at the largest degree where the clique is materialised):
+    cliq = [r for r in report.rows if r["topology"] == "cliq" and r["K"] == 32]
+    circ32 = [r for r in report.rows if r["topology"] == "circ" and r["K"] == 32
+              and r["d"] == cliq[-1]["d"]]
+    assert cliq[-1]["new_edges"] > 100 * circ32[-1]["new_edges"]
+    # UDT hop counts stay logarithmic while T_circ's grow linearly:
+    udt = [r for r in report.rows if r["topology"] == "udt" and r["K"] == 4]
+    circ4 = [r for r in report.rows if r["topology"] == "circ" and r["K"] == 4]
+    assert udt[-1]["max_hops"] <= 12
+    assert circ4[-1]["max_hops"] >= 10_000

@@ -1,0 +1,25 @@
+"""Table 3 — datasets in evaluation (synthetic stand-ins).
+
+Regenerates the dataset-statistics table: node/edge counts, maximum
+outdegree, estimated diameter, and the degree bounds used downstream.
+"""
+
+from repro.bench import table3_datasets
+
+
+def test_table3(run_once, bench_scale):
+    report = run_once(table3_datasets, scale=bench_scale)
+    print()
+    print(report.to_text())
+    assert len(report.rows) == 6
+    by_name = {r["dataset"]: r for r in report.rows}
+    # Expected shape: relative size ordering of the paper's Table 3.
+    assert by_name["pokec"]["edges"] < by_name["livejournal"]["edges"]
+    assert by_name["livejournal"]["edges"] < by_name["orkut"]["edges"]
+    assert by_name["orkut"]["edges"] < by_name["sinaweibo"]["edges"]
+    # Small diameters, like the originals (5-15).
+    for row in report.rows:
+        assert row["diameter"] <= 20
+    # d_max skew: hubs orders of magnitude above the mean.
+    for row in report.rows:
+        assert row["d_max"] > 10 * row["edges"] / row["nodes"]

@@ -1,0 +1,21 @@
+"""Table 6 — space cost of the virtual transformation.
+
+The paper: ~146-149% at K=4, ~125% at K=8, decreasing in K — the
+virtual node array (2 words per virtual node) added to the CSR.
+"""
+
+from repro.bench import table6_virtual_space
+
+
+def test_table6(run_once, bench_scale):
+    report = run_once(table6_virtual_space, scale=bench_scale)
+    print()
+    print(report.to_text())
+    for row in report.rows:
+        values = [float(row[f"K={k}"].rstrip("%")) for k in (4, 8, 16, 32, 100)]
+        # decreasing in K, all above 100%
+        assert all(a >= b for a, b in zip(values, values[1:])), row
+        assert all(v > 100.0 for v in values), row
+        # the paper's K=4 / K=8 bands
+        assert 125.0 < values[0] < 165.0, row
+        assert 110.0 < values[1] < 140.0, row

@@ -1,0 +1,43 @@
+"""Table 8 — SSSP performance details (LiveJournal, K=8).
+
+The paper's deep-dive: with and without the worklist, for the
+original / physically transformed / virtually transformed graph —
+iteration counts, per-iteration time, instruction counts and warp
+efficiency.  Expected shape (paper values in parentheses):
+
+* physical needs ~2x the iterations (14 -> 29); virtual needs none;
+* both transformations raise warp efficiency several-fold
+  (26% -> 91-93%);
+* both execute more instructions than the original (extra nodes /
+  threads), with physical > virtual;
+* the worklist cuts instruction counts dramatically (3.3e9 -> 9e8).
+"""
+
+from repro.bench import table8_sssp_profile
+
+
+def test_table8(run_once, bench_scale):
+    report = run_once(table8_sssp_profile, scale=bench_scale)
+    print()
+    print(report.to_text())
+    rows = {(r["variant"], r["worklist"]): r for r in report.rows}
+
+    for worklist in ("without", "with"):
+        orig = rows[("original", worklist)]
+        phys = rows[("physical", worklist)]
+        virt = rows[("virtual", worklist)]
+        # iterations: physical ~2x, virtual unchanged
+        assert 1.5 <= phys["iterations"] / orig["iterations"] <= 3.5
+        assert virt["iterations"] == orig["iterations"]
+        # warp efficiency multiplies under both transformations
+        eff = lambda r: float(r["warp_efficiency"].rstrip("%"))
+        assert eff(phys) > 3 * eff(orig)
+        assert eff(virt) > 3 * eff(orig)
+        # instruction counts: physical > virtual > original
+        assert phys["instructions"] > virt["instructions"] > orig["instructions"]
+
+    # the worklist slashes instructions on the original graph
+    assert rows[("original", "with")]["instructions"] < 0.5 * rows[("original", "without")]["instructions"]
+    # per-iteration time drops under both transformations (no worklist)
+    assert rows[("physical", "without")]["time_per_iter_ms"] < rows[("original", "without")]["time_per_iter_ms"]
+    assert rows[("virtual", "without")]["time_per_iter_ms"] < rows[("original", "without")]["time_per_iter_ms"]

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the stand-in datasets for
+quicker smoke runs, e.g. ``REPRO_BENCH_SCALE=0.25 pytest benchmarks/``.
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are deterministic end-to-end regenerations of
+paper tables, not microbenchmarks, and some take tens of seconds at
+full scale.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

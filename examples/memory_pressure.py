@@ -1,0 +1,56 @@
+"""Memory pressure: OOM rows, and what streaming does about them.
+
+Table 4's most dramatic entries are the OOMs: CuSha and Gunrock
+cannot even load the largest graphs at the device budget.  This
+example reproduces that cliff and then shows the §7.2 alternative —
+GraphReduce-style partition streaming wrapped around Tigr-V+ — paying
+its way through the same budget.
+
+Run:  python examples/memory_pressure.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    CuShaMethod,
+    GunrockMethod,
+    StreamingTigrMethod,
+    TigrVirtualMethod,
+)
+from repro.gpu import GPUConfig
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("sinaweibo", scale=0.5)
+    source = int(np.argmax(graph.out_degrees()))
+    print(f"graph: {graph}")
+
+    # A budget chosen so the heavyweight representations spill.
+    budget = 4 * 1024 * 1024
+    config = GPUConfig(device_memory_bytes=budget)
+    print(f"device memory budget: {budget / 1e6:.1f} MB\n")
+
+    print(f"{'method':14s}{'footprint':>12s}{'outcome':>26s}")
+    for method in (CuShaMethod(), GunrockMethod(),
+                   TigrVirtualMethod(coalesced=True), StreamingTigrMethod()):
+        result = method.run(graph, "sssp", source, config=config)
+        footprint = method.footprint(graph, "sssp")
+        if result.oom:
+            outcome = "OOM"
+        else:
+            outcome = f"{result.time_ms:.3f} ms"
+            if result.notes.get("partitions", 1) > 1:
+                outcome += (f" ({int(result.notes['partitions'])} partitions, "
+                            f"{result.notes['stream_ms']:.3f} ms streaming)")
+        print(f"{method.name:14s}{footprint / 1e6:>10.1f}MB{outcome:>34s}")
+
+    print(
+        "\nThe streaming wrapper completes with identical results where"
+        "\nthe in-memory methods fail - at the price of the host-device"
+        "\ntraffic the simulated time now includes."
+    )
+
+
+if __name__ == "__main__":
+    main()

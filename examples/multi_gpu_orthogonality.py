@@ -1,0 +1,52 @@
+"""Multi-GPU orthogonality: Tigr composes with partitioned processing.
+
+The paper's related work (§7.2) positions multi-GPU systems
+(TOTEM, Medusa) as orthogonal to Tigr.  This example partitions a
+power-law graph across 1, 2 and 4 simulated devices and runs SSSP
+with plain per-device scheduling vs per-device Tigr virtual
+scheduling — the transformation keeps paying at every device count,
+while the interconnect bill grows with the partition cut.
+
+Run:  python examples/multi_gpu_orthogonality.py
+"""
+
+import numpy as np
+
+from repro.algorithms.programs import SSSPProgram
+from repro.graph import load_dataset
+from repro.multigpu import MultiGPUConfig, run_multi_gpu
+
+
+def main() -> None:
+    graph = load_dataset("orkut", scale=0.5)
+    source = int(np.argmax(graph.out_degrees()))
+    print(f"graph: {graph}\n")
+
+    header = (f"{'devices':>8s}{'base kernel':>13s}{'tigr kernel':>13s}"
+              f"{'tigr gain':>10s}{'transfer':>10s}{'xfer share':>11s}")
+    print(header)
+    reference = None
+    for devices in (1, 2, 4):
+        config = MultiGPUConfig(num_devices=devices)
+        base = run_multi_gpu(graph, SSSPProgram(), source, config=config)
+        tigr = run_multi_gpu(graph, SSSPProgram(), source, config=config,
+                             degree_bound=10)
+        if reference is None:
+            reference = base.values
+        assert np.allclose(base.values, reference)
+        assert np.allclose(tigr.values, reference)
+        print(f"{devices:>8d}{base.kernel_time_ms:>11.3f}ms"
+              f"{tigr.kernel_time_ms:>11.3f}ms"
+              f"{base.kernel_time_ms / tigr.kernel_time_ms:>9.2f}x"
+              f"{tigr.transfer_time_ms:>8.3f}ms"
+              f"{tigr.transfer_fraction:>11.1%}")
+
+    print(
+        "\nSplitting the graph over devices shrinks each kernel but does"
+        "\nnot fix intra-device warp imbalance - Tigr still removes it,"
+        "\nat every device count. Orthogonal, as the paper claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,213 @@
+"""Command-line interface for the Tigr reproduction.
+
+Subcommands::
+
+    python -m repro info <dataset|file>          # degree statistics
+    python -m repro transform <dataset> [...]    # transform + report
+    python -m repro run <algorithm> <dataset>    # run an analytic
+    python -m repro compare <algorithm> <dataset>  # all Table 2 methods
+    python -m repro bench [...]                  # paper experiments
+                                                 # (alias of repro.bench)
+
+Datasets are the Table 3 stand-in names (``pokec`` … ``twitter``) or
+a path to an edge-list / ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines import standard_methods
+from repro.baselines.base import ALGORITHMS
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.core.weights import DumbWeight
+from repro.errors import TigrError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset
+from repro.graph.io import load_edge_list, load_npz
+from repro.graph.stats import degree_stats, estimate_diameter
+
+
+def _load(name: str, *, scale: float = 1.0) -> CSRGraph:
+    """Resolve a dataset name or file path into a graph."""
+    if name.lower() in DATASETS:
+        return load_dataset(name, scale=scale)
+    if not os.path.exists(name):
+        known = ", ".join(dataset_names())
+        raise TigrError(f"{name!r} is neither a known dataset ({known}) nor a file")
+    if name.endswith(".npz"):
+        return load_npz(name)
+    if name.endswith(".mtx"):
+        from repro.graph.formats import load_mtx
+
+        return load_mtx(name)
+    if name.endswith((".graph", ".metis")):
+        from repro.graph.formats import load_metis
+
+        return load_metis(name)
+    return load_edge_list(name)
+
+
+def cmd_info(args) -> int:
+    graph = _load(args.graph, scale=args.scale)
+    stats = degree_stats(graph)
+    print(f"graph: {graph}")
+    for key, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"  {key:28s} {value:.4g}")
+        else:
+            print(f"  {key:28s} {value}")
+    if args.diameter:
+        print(f"  {'diameter_estimate':28s} {estimate_diameter(graph, seed=0)}")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    graph = _load(args.graph, scale=args.scale)
+    if args.method == "udt":
+        result = udt_transform(
+            graph, args.k, dumb_weight=DumbWeight.for_algorithm(args.weights_for)
+        )
+        stats = result.stats
+        print(f"UDT transform, K={args.k}:")
+        print(f"  families split:   {stats.num_families}")
+        print(f"  new nodes:        {stats.new_nodes}")
+        print(f"  new edges:        {stats.new_edges}")
+        print(f"  max degree after: {stats.max_degree_after}")
+        print(f"  max family hops:  {stats.max_family_hops}")
+        print(f"  space ratio:      {stats.space_ratio(graph, result.graph) * 100:.2f}%")
+    else:
+        virtual = virtual_transform(graph, args.k, coalesced=args.method == "virtual+")
+        print(f"virtual transform ({'coalesced' if virtual.coalesced else 'default'}), "
+              f"K={args.k}:")
+        print(f"  virtual nodes: {virtual.num_virtual_nodes}")
+        print(f"  max virtual degree: {virtual.max_virtual_degree()}")
+        print(f"  space ratio:   {virtual.space_ratio() * 100:.2f}%")
+    return 0
+
+
+def _pick_method(name: str, k_udt: int, k_v: int):
+    for method in standard_methods(k_udt=k_udt, k_v=k_v):
+        if method.name == name:
+            return method
+    raise TigrError(
+        f"unknown method {name!r}; known: "
+        + ", ".join(m.name for m in standard_methods())
+    )
+
+
+def cmd_run(args) -> int:
+    graph = _load(args.graph, scale=args.scale)
+    method = _pick_method(args.method, args.k_udt, args.k_v)
+    spec = ALGORITHMS[args.algorithm]
+    source = args.source
+    if spec.needs_source and source is None:
+        source = int(np.argmax(graph.out_degrees()))
+        print(f"(using max-outdegree source {source})")
+    result = method.run(graph, args.algorithm, source)
+    if result.oom:
+        print(f"{method.name}: OOM (needs {result.footprint_bytes:,} bytes)")
+        return 1
+    metrics = result.metrics
+    print(f"{args.algorithm} via {method.name}:")
+    print(f"  simulated time:  {result.time_ms:.4f} ms")
+    print(f"  iterations:      {metrics.num_iterations}")
+    print(f"  warp efficiency: {metrics.warp_efficiency:.1%}")
+    print(f"  instructions:    {metrics.total_instructions:.3e}")
+    finite = result.values[np.isfinite(result.values)]
+    print(f"  values: {len(finite)} finite, "
+          f"range [{finite.min():.4g}, {finite.max():.4g}]" if len(finite)
+          else "  values: none finite")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = _load(args.graph, scale=args.scale)
+    spec = ALGORITHMS[args.algorithm]
+    source = args.source
+    if spec.needs_source and source is None:
+        source = int(np.argmax(graph.out_degrees()))
+    rows = []
+    for method in standard_methods(k_udt=args.k_udt, k_v=args.k_v):
+        if not method.supports(args.algorithm):
+            rows.append((method.name, "-"))
+            continue
+        result = method.run(graph, args.algorithm, source)
+        rows.append((method.name, result.display_time))
+    width = max(len(name) for name, _ in rows)
+    print(f"{args.algorithm} on {args.graph} (simulated ms):")
+    for name, cell in rows:
+        print(f"  {name:{width}s}  {cell}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Tigr (ASPLOS'18) reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="degree statistics of a graph")
+    p.add_argument("graph")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--diameter", action="store_true",
+                   help="also estimate the diameter (slower)")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("transform", help="apply a split transformation")
+    p.add_argument("graph")
+    p.add_argument("--method", choices=("udt", "virtual", "virtual+"),
+                   default="virtual+")
+    p.add_argument("--k", type=int, default=10, help="degree bound K")
+    p.add_argument("--weights-for", default="sssp",
+                   help="analytic deciding the dumb-weight policy (udt only)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_transform)
+
+    for name, fn in (("run", cmd_run), ("compare", cmd_compare)):
+        p = sub.add_parser(
+            name,
+            help="run one analytic" if name == "run" else "compare all methods",
+        )
+        p.add_argument("algorithm", choices=sorted(ALGORITHMS))
+        p.add_argument("graph")
+        if name == "run":
+            p.add_argument("--method", default="tigr-v+")
+        p.add_argument("--source", type=int, default=None)
+        p.add_argument("--k-udt", type=int, default=16)
+        p.add_argument("--k-v", type=int, default=10)
+        p.add_argument("--scale", type=float, default=1.0)
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser("bench", help="regenerate the paper's experiments")
+    p.add_argument("experiments", nargs="*", default=None)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=None)  # handled specially below
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        forwarded = list(args.experiments or [])
+        forwarded += ["--scale", str(args.scale)]
+        return bench_main(forwarded)
+    try:
+        return args.func(args)
+    except TigrError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The six graph analytics the paper evaluates (§6.1).
+
+Each analytic exists in two forms:
+
+* an **engine form** (``bfs``, ``sssp``, ``sswp``, ``cc``, ``bc``,
+  ``pagerank``) expressed as a vertex program and executed by the
+  push/pull engines of :mod:`repro.engine` on the original, physically
+  transformed, or virtually transformed graph;
+* a **reference form** (:mod:`repro.algorithms.reference`) — classic
+  sequential CPU implementations used as correctness oracles by the
+  test suite and the benchmark harness.
+"""
+
+from repro.algorithms.bc import bc, BCResult
+from repro.algorithms.bfs import bfs
+from repro.algorithms.cc import connected_components
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.paths import path_length, reconstruct_path, shortest_path_tree_edges
+from repro.algorithms.programs import (
+    BFSProgram,
+    CCProgram,
+    PageRankProgram,
+    SSSPProgram,
+    SSWPProgram,
+)
+from repro.algorithms.multi_source import (
+    approximate_bc,
+    closeness_centrality,
+    multi_source_distances,
+)
+from repro.algorithms.sssp import sssp
+from repro.algorithms.sswp import sswp
+
+__all__ = [
+    "bfs",
+    "sssp",
+    "sswp",
+    "connected_components",
+    "bc",
+    "BCResult",
+    "pagerank",
+    "closeness_centrality",
+    "approximate_bc",
+    "multi_source_distances",
+    "reconstruct_path",
+    "path_length",
+    "shortest_path_tree_edges",
+    "BFSProgram",
+    "SSSPProgram",
+    "SSWPProgram",
+    "CCProgram",
+    "PageRankProgram",
+]

@@ -1,0 +1,28 @@
+"""Internal: accept a graph, a virtual graph, or a scheduler uniformly."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.virtual import VirtualGraph
+from repro.engine.schedule import NodeScheduler, Scheduler, VirtualScheduler
+from repro.graph.csr import CSRGraph
+
+Target = Union[CSRGraph, VirtualGraph, Scheduler]
+
+
+def resolve_scheduler(target: Target) -> Scheduler:
+    """Normalise an algorithm-driver target into a scheduler.
+
+    * :class:`~repro.graph.csr.CSRGraph` → one thread per node;
+    * :class:`~repro.core.virtual.VirtualGraph` → one thread per
+      virtual node (Tigr);
+    * any :class:`~repro.engine.schedule.Scheduler` → used as-is.
+    """
+    if isinstance(target, Scheduler):
+        return target
+    if isinstance(target, VirtualGraph):
+        return VirtualScheduler(target)
+    if isinstance(target, CSRGraph):
+        return NodeScheduler(target)
+    raise TypeError(f"cannot schedule {type(target).__name__}")

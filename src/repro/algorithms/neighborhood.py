@@ -1,0 +1,142 @@
+"""Neighborhood-dependent analytics: triangle counting and coloring.
+
+§3.3's applicability discussion names these as the analytics split
+transformations *cannot* preserve: "analyses that require preserving
+the neighborhood of nodes, such as graph coloring (GC), triangle
+counting (TC), clique detection (CD)".  They are implemented here so
+the library can demonstrate — not just assert — that boundary
+(:mod:`repro.core.applicability` and the test suite run them on
+UDT-transformed graphs and watch the answers change).
+
+Both operate on the *undirected* view of their input: pass a
+symmetrised graph (:func:`repro.graph.builder.to_undirected`) for the
+conventional definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def triangle_count(graph: CSRGraph) -> int:
+    """Number of triangles (3-cycles over symmetric edge pairs).
+
+    Uses the standard rank-ordering trick: orient each undirected edge
+    from the lower-(degree, id) endpoint to the higher, then count
+    common out-neighbors per oriented edge — each triangle is counted
+    exactly once.  Expects a symmetrised graph; parallel edges and
+    self-loops are ignored.
+    """
+    n = graph.num_nodes
+    if n == 0 or graph.num_edges == 0:
+        return 0
+    src, dst, _ = graph.to_coo()
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+
+    degrees = np.bincount(np.concatenate([src]), minlength=n)
+    # rank = (degree, id) lexicographic position
+    rank = np.argsort(np.argsort(degrees * (n + 1) + np.arange(n)))
+    forward = rank[src] < rank[dst]
+    fsrc, fdst = src[forward], dst[forward]
+
+    # oriented adjacency sets
+    order = np.argsort(fsrc, kind="stable")
+    fsrc, fdst = fsrc[order], fdst[order]
+    neighbors: Dict[int, np.ndarray] = {}
+    starts = np.searchsorted(fsrc, np.arange(n))
+    ends = np.searchsorted(fsrc, np.arange(n), side="right")
+    for node in np.unique(fsrc):
+        neighbors[int(node)] = np.unique(fdst[starts[node]:ends[node]])
+
+    count = 0
+    for u, v in zip(fsrc, fdst):
+        nu = neighbors.get(int(u))
+        nv = neighbors.get(int(v))
+        if nu is None or nv is None:
+            continue
+        count += len(np.intersect1d(nu, nv, assume_unique=True))
+    return count
+
+
+def local_triangle_counts(graph: CSRGraph) -> np.ndarray:
+    """Per-node triangle participation counts (symmetrised input).
+
+    ``local_triangle_counts(g).sum() == 3 * triangle_count(g)``.
+    """
+    n = graph.num_nodes
+    counts = np.zeros(n, dtype=np.int64)
+    if n == 0 or graph.num_edges == 0:
+        return counts
+    adjacency = [np.unique(graph.neighbors(v)) for v in range(n)]
+    for u in range(n):
+        for v in adjacency[u]:
+            if v <= u:
+                continue
+            common = np.intersect1d(adjacency[u], adjacency[int(v)],
+                                    assume_unique=True)
+            common = common[(common != u) & (common != v)]
+            for w in common:
+                if w > v:  # count each unordered triangle once
+                    counts[u] += 1
+                    counts[int(v)] += 1
+                    counts[int(w)] += 1
+    return counts
+
+
+def greedy_coloring(graph: CSRGraph) -> np.ndarray:
+    """Greedy vertex coloring in descending-degree order.
+
+    Returns a color per node such that no symmetric edge joins two
+    nodes of the same color.  Deterministic (ties broken by node id),
+    which is what lets the applicability tests compare colorings
+    before and after a transformation meaningfully.
+    """
+    n = graph.num_nodes
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return colors
+    order = np.lexsort((np.arange(n), -graph.out_degrees()))
+    for node in order:
+        node = int(node)
+        used = set(int(c) for c in colors[graph.neighbors(node)] if c >= 0)
+        # also respect in-edges so directed inputs still yield proper
+        # colorings of the underlying undirected graph
+        color = 0
+        while color in used:
+            color += 1
+        colors[node] = color
+    # second pass with in-neighbors for non-symmetric inputs
+    in_lists = _in_neighbors(graph)
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            node = int(node)
+            used = set(int(c) for c in colors[graph.neighbors(node)])
+            used |= set(int(colors[u]) for u in in_lists[node])
+            used.discard(int(colors[node]))
+            if int(colors[node]) in used:
+                color = 0
+                while color in used:
+                    color += 1
+                colors[node] = color
+                changed = True
+    return colors
+
+
+def chromatic_upper_bound(graph: CSRGraph) -> int:
+    """Number of colors the greedy coloring uses."""
+    colors = greedy_coloring(graph)
+    return int(colors.max()) + 1 if len(colors) else 0
+
+
+def _in_neighbors(graph: CSRGraph):
+    lists = [[] for _ in range(graph.num_nodes)]
+    for src, dst in zip(graph.edge_sources(), graph.targets):
+        lists[int(dst)].append(int(src))
+    return lists

@@ -1,0 +1,118 @@
+"""Path reconstruction from converged distance arrays.
+
+The engines compute *distances* (the paper's analytics never need the
+paths themselves), but downstream users usually want the route.  A
+converged SSSP/BFS array contains enough information to rebuild any
+shortest path without storing predecessors during the run: walk
+backwards from the target, at each step picking an in-neighbor ``u``
+with ``dist[u] + w(u, v) == dist[v]``.  This keeps the hot loops
+predecessor-free (as the GPU kernels are) while making paths available
+on demand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+
+
+def reconstruct_path(
+    graph: CSRGraph,
+    distances: np.ndarray,
+    source: int,
+    target: int,
+    *,
+    reverse: Optional[CSRGraph] = None,
+    tolerance: float = 1e-9,
+) -> List[int]:
+    """One shortest path ``source -> ... -> target`` as node ids.
+
+    ``distances`` must be a converged SSSP (or BFS) array for
+    ``source`` on ``graph``.  Returns ``[source]`` when
+    ``target == source``; raises :class:`~repro.errors.EngineError`
+    when the target is unreachable or the array is inconsistent.
+    Ties are broken toward the smallest predecessor id, so the result
+    is deterministic.
+    """
+    n = graph.num_nodes
+    if not (0 <= source < n and 0 <= target < n):
+        raise EngineError("source/target out of range")
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.shape != (n,):
+        raise EngineError("distance array shape mismatch")
+    if not np.isfinite(distances[target]):
+        raise EngineError(f"target {target} is unreachable from {source}")
+    if distances[source] != 0.0:
+        raise EngineError("distances[source] must be 0 (wrong source array?)")
+
+    if reverse is None:
+        reverse = graph.reverse()
+    weights = reverse.weights
+    path = [int(target)]
+    node = int(target)
+    # a simple path visits at most n nodes
+    for _ in range(n):
+        if node == source:
+            return list(reversed(path))
+        start, end = reverse.edge_range(node)
+        in_nbrs = reverse.targets[start:end]
+        w = weights[start:end] if weights is not None else np.ones(end - start)
+        consistent = np.abs(distances[in_nbrs] + w - distances[node]) <= tolerance
+        candidates = in_nbrs[consistent]
+        if len(candidates) == 0:
+            raise EngineError(
+                f"no consistent predecessor for node {node}: "
+                "the distance array does not belong to this graph/source"
+            )
+        node = int(candidates.min())
+        path.append(node)
+    raise EngineError("path reconstruction exceeded |V| hops (cycle of zeros?)")
+
+
+def path_length(graph: CSRGraph, path: List[int]) -> float:
+    """Total weight of a node path (unit weights when unweighted).
+
+    Raises :class:`~repro.errors.EngineError` if a consecutive pair is
+    not an edge.
+    """
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        start, end = graph.edge_range(int(u))
+        nbrs = graph.targets[start:end]
+        hits = np.flatnonzero(nbrs == v)
+        if len(hits) == 0:
+            raise EngineError(f"({u}, {v}) is not an edge")
+        if graph.weights is None:
+            total += 1.0
+        else:
+            total += float(graph.weights[start + hits].min())
+    return total
+
+
+def shortest_path_tree_edges(
+    graph: CSRGraph,
+    distances: np.ndarray,
+    *,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Boolean edge mask of the shortest-path DAG.
+
+    An edge ``(u, v)`` is *tight* when ``dist[u] + w == dist[v]`` —
+    the union of all shortest paths from the source.  Useful for
+    betweenness-style analyses and for visualising what SSSP found.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    src = graph.edge_sources()
+    dst = graph.targets
+    w = graph.weights if graph.weights is not None else np.ones(graph.num_edges)
+    finite = np.isfinite(distances[src]) & np.isfinite(distances[dst])
+    tight = np.zeros(graph.num_edges, dtype=bool)
+    tight[finite] = (
+        np.abs(distances[src[finite]] + w[finite] - distances[dst[finite]])
+        <= tolerance
+    )
+    return tight

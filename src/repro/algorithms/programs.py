@@ -1,0 +1,159 @@
+"""The paper's analytics expressed as push programs (§6.1, Figure 2).
+
+Each program is a tiny object: initial values, initial frontier, the
+per-edge relax function, and the destination reduction.  The same
+program instances drive the baseline node engine, the physically
+transformed graphs, and the virtual engines — only the scheduler
+changes, which is the whole point of Tigr's data-level approach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.program import PushProgram, ReduceOp
+from repro.errors import EngineError
+from repro.graph.csr import NODE_DTYPE
+
+
+def _require_source(source: Optional[int], name: str) -> int:
+    if source is None:
+        raise EngineError(f"{name} requires a source node")
+    return int(source)
+
+
+class BFSProgram(PushProgram):
+    """Breadth-first search: hop distance from the source.
+
+    BFS is SSSP on unit weights (§3.3).  On unweighted graphs the
+    relax is ``src + 1``; on weighted graphs the weights are *used* —
+    which is exactly what a physically transformed graph needs, since
+    its dumb-weight edges carry 0 and its original edges carry 1.
+    Callers wanting pure hop counts on a weighted graph should strip
+    weights first.
+    """
+
+    name = "bfs"
+    reduce = ReduceOp.MIN
+
+    def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        values = np.full(num_nodes, np.inf)
+        values[_require_source(source, self.name)] = 0.0
+        return values
+
+    def initial_frontier(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.asarray([_require_source(source, self.name)], dtype=NODE_DTYPE)
+
+    def relax(self, src_values, edge_weights):
+        if edge_weights is None:
+            return src_values + 1.0
+        return src_values + edge_weights
+
+
+class SSSPProgram(PushProgram):
+    """Single-source shortest path — the Figure 2 / Algorithm 2 kernel.
+
+    ``alt = v.dist + weight``; destination keeps the minimum
+    (``atomicMin``).
+    """
+
+    name = "sssp"
+    reduce = ReduceOp.MIN
+    needs_weights = True
+
+    def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        values = np.full(num_nodes, np.inf)
+        values[_require_source(source, self.name)] = 0.0
+        return values
+
+    def initial_frontier(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.asarray([_require_source(source, self.name)], dtype=NODE_DTYPE)
+
+    def relax(self, src_values, edge_weights):
+        return src_values + edge_weights
+
+
+class SSWPProgram(PushProgram):
+    """Single-source widest path: maximise the path's bottleneck.
+
+    A path's width is its minimum edge weight; candidates are
+    ``min(src_width, weight)`` and destinations keep the maximum.
+    Source width is ``+inf``, unreached is ``-inf`` — which is why
+    +inf dumb weights (Corollary 3) are transparent to it.
+    """
+
+    name = "sswp"
+    reduce = ReduceOp.MAX
+    needs_weights = True
+
+    def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        values = np.full(num_nodes, -np.inf)
+        values[_require_source(source, self.name)] = np.inf
+        return values
+
+    def initial_frontier(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.asarray([_require_source(source, self.name)], dtype=NODE_DTYPE)
+
+    def relax(self, src_values, edge_weights):
+        return np.minimum(src_values, edge_weights)
+
+
+class CCProgram(PushProgram):
+    """Connected components by min-label propagation.
+
+    Every node starts labelled with its own id and pushes its label;
+    destinations keep the minimum.  On a symmetrised graph the fixed
+    point labels each weakly connected component with its smallest
+    node id — directly comparable to the union-find oracle.
+    """
+
+    name = "cc"
+    reduce = ReduceOp.MIN
+
+    def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.arange(num_nodes, dtype=np.float64)
+
+    def initial_frontier(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.arange(num_nodes, dtype=NODE_DTYPE)
+
+    def relax(self, src_values, edge_weights):
+        return src_values.copy()
+
+
+class PageRankProgram(PushProgram):
+    """PageRank's push step: scatter ``rank / outdegree`` to neighbors.
+
+    Unlike the monotone analytics, PR recomputes every node each
+    iteration; :func:`repro.algorithms.pagerank.pagerank` owns that
+    loop and uses this program only for the scatter shape (ADD
+    reduction onto a fresh contribution array).  ``set_out_degrees``
+    must be called with the *physical* outdegrees — on virtually
+    transformed graphs every sibling divides by the full physical
+    degree, which is the "modified vertex function" footnote of
+    Theorem 3's discussion.
+    """
+
+    name = "pagerank"
+    reduce = ReduceOp.ADD
+
+    def __init__(self) -> None:
+        self._inv_degrees: Optional[np.ndarray] = None
+
+    def set_out_degrees(self, degrees: np.ndarray) -> None:
+        inv = np.zeros(len(degrees), dtype=np.float64)
+        nonzero = degrees > 0
+        inv[nonzero] = 1.0 / degrees[nonzero]
+        self._inv_degrees = inv
+
+    def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.full(num_nodes, 1.0 / max(num_nodes, 1))
+
+    def initial_frontier(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        return np.arange(num_nodes, dtype=NODE_DTYPE)
+
+    def relax(self, src_values, edge_weights):
+        # src_values here are rank[src] * inv_degree[src], prepared by
+        # the PR driver; the scatter just sums them.
+        return src_values.copy()

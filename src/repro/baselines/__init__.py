@@ -1,0 +1,75 @@
+"""Models of the evaluated methods (Table 2 of the paper).
+
+Each :class:`~repro.baselines.base.Method` couples a scheduling
+discipline, a kernel cost profile, and a device-memory footprint
+model, reproducing the performance *character* of the corresponding
+framework:
+
+==============  ===========================================================
+``baseline``    the paper's lightweight engine with Tigr disabled
+                (thread per node, worklist)
+``tigr-udt``    physical UDT transformation + baseline engine
+``tigr-v``      virtual node array scheduling (Algorithm 2)
+``tigr-v+``     virtual + edge-array coalescing (Algorithm 3)
+``mw``          Maximum Warp [23]: sub-warp decomposition, best
+                virtual warp size in 2..32, all nodes every iteration
+``cusha``       CuSha [32]: shard-based processing — perfectly
+                balanced and coalesced, but streams the whole edge
+                array every iteration and pays an edge-replicated
+                memory footprint
+``gunrock``     Gunrock [69]: frontier-based, per-edge load-balanced
+                advance with multi-kernel iteration overhead
+==============  ===========================================================
+"""
+
+from repro.baselines.base import ALGORITHMS, AlgorithmSpec, Method, MethodResult, prepare_graph
+from repro.baselines.cusha import CuShaMethod
+from repro.baselines.gunrock import GunrockMethod
+from repro.baselines.hardwired import (
+    DeltaSteppingSSSPMethod,
+    DirectionOptimizingBFSMethod,
+    GASPageRankMethod,
+    PointerJumpingCCMethod,
+    hardwired_methods,
+)
+from repro.baselines.maxwarp import MaxWarpMethod
+from repro.baselines.memory import footprint_bytes
+from repro.baselines.simple import BaselineMethod
+from repro.baselines.streaming import StreamingTigrMethod
+from repro.baselines.subway import SubwayMethod
+from repro.baselines.tigr import TigrUDTMethod, TigrVirtualMethod
+
+__all__ = [
+    "Method",
+    "MethodResult",
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "prepare_graph",
+    "BaselineMethod",
+    "StreamingTigrMethod",
+    "SubwayMethod",
+    "TigrUDTMethod",
+    "TigrVirtualMethod",
+    "MaxWarpMethod",
+    "CuShaMethod",
+    "GunrockMethod",
+    "DirectionOptimizingBFSMethod",
+    "DeltaSteppingSSSPMethod",
+    "PointerJumpingCCMethod",
+    "GASPageRankMethod",
+    "hardwired_methods",
+    "footprint_bytes",
+]
+
+
+def standard_methods(k_udt: int = 64, k_v: int = 10) -> list:
+    """The Table 2 line-up, ready to run."""
+    return [
+        MaxWarpMethod(),
+        CuShaMethod(),
+        GunrockMethod(),
+        BaselineMethod(),
+        TigrUDTMethod(degree_bound=k_udt),
+        TigrVirtualMethod(degree_bound=k_v, coalesced=False),
+        TigrVirtualMethod(degree_bound=k_v, coalesced=True),
+    ]

@@ -1,0 +1,257 @@
+"""G-Shards and Concatenated Windows — CuSha's graph representation.
+
+CuSha [32] abandons CSR for *shards*: destination-partitioned edge
+groups sized so one shard's value window fits in an SM's shared
+memory.  Within a shard, edges are sorted by source, so the gather of
+source values streams coalesced; results accumulate in shared memory
+and write back once per shard (no atomics).  *Concatenated Windows*
+(CW) further groups each shard's edges by source window so the source
+value loads of consecutive shards concatenate into long coalesced
+runs.
+
+This module builds the actual data structure (not just a cost model):
+:class:`GShards` materialises shard-ordered edge arrays with window
+index tables, supports a pull-style compute pass with any associative
+reduction, and accounts its storage — the representation blow-up
+behind CuSha's Table 4 OOMs.  The test suite checks that shard-based
+processing yields bit-identical analytics results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.program import PushProgram
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph, NODE_DTYPE
+
+
+@dataclass(frozen=True)
+class GShards:
+    """A graph in G-Shards form.
+
+    Edges are stored in one flat (src, dst, weight) triple sorted by
+    ``(shard_of(dst), src)``; ``shard_offsets[i]:shard_offsets[i+1]``
+    is shard ``i``.  ``window_offsets[i, j]`` marks, inside shard
+    ``i``, where the edges whose *source* lies in shard ``j`` begin —
+    the Concatenated Windows index.
+    """
+
+    num_nodes: int
+    shard_size: int
+    src: np.ndarray
+    dst: np.ndarray
+    weights: Optional[np.ndarray]
+    shard_offsets: np.ndarray
+    window_offsets: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def shard_of(self, node: int) -> int:
+        """Which shard owns a node's value window."""
+        return int(node) // self.shard_size
+
+    def shard_edges(self, shard: int) -> slice:
+        """Flat-array slice of one shard's edges."""
+        return slice(int(self.shard_offsets[shard]), int(self.shard_offsets[shard + 1]))
+
+    def window(self, shard: int, source_shard: int) -> slice:
+        """Edges of ``shard`` whose sources live in ``source_shard``."""
+        return slice(
+            int(self.window_offsets[shard, source_shard]),
+            int(self.window_offsets[shard, source_shard + 1]),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: CSRGraph, shard_size: int) -> "GShards":
+        """Convert a CSR graph into G-Shards.
+
+        ``shard_size`` is the number of node values one shard's shared
+        memory window holds (CuSha derives it from the 48 KB shared
+        memory of the target SM).
+        """
+        if shard_size < 1:
+            raise EngineError(f"shard size must be >= 1, got {shard_size}")
+        n = graph.num_nodes
+        src, dst, weights = graph.to_coo()
+        num_shards = max(1, -(-n // shard_size))
+
+        dst_shard = dst // shard_size
+        src_shard = src // shard_size
+        # sort by (destination shard, source) — the G-Shards order;
+        # sorting by source *shard* first then source keeps windows
+        # contiguous and sources coalesced within each window.
+        order = np.lexsort((src, src_shard, dst_shard))
+        src, dst = src[order], dst[order]
+        if weights is not None:
+            weights = weights[order]
+        dst_shard = dst_shard[order]
+        src_shard = src_shard[order]
+
+        shard_offsets = np.zeros(num_shards + 1, dtype=NODE_DTYPE)
+        np.cumsum(np.bincount(dst_shard, minlength=num_shards), out=shard_offsets[1:])
+
+        window_offsets = np.zeros((num_shards, num_shards + 1), dtype=NODE_DTYPE)
+        for shard in range(num_shards):
+            lo, hi = int(shard_offsets[shard]), int(shard_offsets[shard + 1])
+            counts = np.bincount(src_shard[lo:hi], minlength=num_shards)
+            window_offsets[shard, 0] = lo
+            np.cumsum(counts, out=window_offsets[shard, 1:])
+            window_offsets[shard, 1:] += lo
+
+        return cls(
+            num_nodes=n, shard_size=int(shard_size),
+            src=src, dst=dst, weights=weights,
+            shard_offsets=shard_offsets, window_offsets=window_offsets,
+        )
+
+    # ------------------------------------------------------------------
+    # Compute pass
+    # ------------------------------------------------------------------
+    def compute_iteration(
+        self,
+        values: np.ndarray,
+        relax: Callable[[np.ndarray, Optional[np.ndarray]], np.ndarray],
+        scatter: Callable[[np.ndarray, np.ndarray, np.ndarray], None],
+    ) -> np.ndarray:
+        """One CuSha iteration: per shard, gather → reduce → write back.
+
+        ``relax(source_values, edge_weights)`` produces candidates;
+        ``scatter(window_values, local_dst, candidates)`` folds them
+        into the shard's private window (shared memory in the real
+        kernel — no atomics needed because one shard's window is owned
+        by one thread block).  Returns the updated value array; the
+        input array is not modified (bulk-synchronous semantics).
+        """
+        new_values = values.copy()
+        for shard in range(self.num_shards):
+            span = self.shard_edges(shard)
+            if span.start == span.stop:
+                continue
+            base = shard * self.shard_size
+            window = new_values[base : base + self.shard_size].copy()
+            candidates = relax(
+                values[self.src[span]],
+                None if self.weights is None else self.weights[span],
+            )
+            scatter(window, self.dst[span] - base, candidates)
+            new_values[base : base + self.shard_size] = window
+        return new_values
+
+    def run_program(
+        self,
+        program: PushProgram,
+        source: Optional[int],
+        *,
+        max_iterations: int = 100_000,
+    ):
+        """Run a vertex program to convergence on the shards.
+
+        Shard processing is pull-flavoured (each shard folds incoming
+        candidates into its own window), and the program's reduction
+        is associative, so this converges to the same fixed point as
+        the push engines — verified by the tests.
+        Returns ``(values, iterations)``.
+        """
+        values = program.initial_values(self.num_nodes, source)
+
+        def scatter(window, local_dst, candidates):
+            program.reduce.scatter(window, local_dst, candidates)
+
+        iterations = 0
+        for _ in range(max_iterations):
+            iterations += 1
+            new_values = self.compute_iteration(values, program.relax, scatter)
+            if np.array_equal(new_values, values):
+                break
+            values = new_values
+        else:
+            raise EngineError(
+                f"{program.name} did not converge within {max_iterations} shard sweeps"
+            )
+        return values, iterations
+
+    def run_program_cw(
+        self,
+        program: PushProgram,
+        source: Optional[int],
+        *,
+        max_iterations: int = 100_000,
+    ):
+        """Concatenated-Windows variant: skip stale windows.
+
+        CuSha's CW optimisation records which source *windows* hold
+        values that changed last sweep; a shard only re-processes the
+        windows whose sources changed.  Results are identical to
+        :meth:`run_program` (monotone folds are idempotent on stale
+        inputs); the saving is the skipped edge work, which the
+        returned ``edges_processed`` exposes.
+        Returns ``(values, iterations, edges_processed)``.
+        """
+        values = program.initial_values(self.num_nodes, source)
+        # every source window starts dirty (initial values "changed")
+        dirty = np.ones(self.num_shards, dtype=bool)
+        iterations = 0
+        edges_processed = 0
+        for _ in range(max_iterations):
+            iterations += 1
+            new_values = values.copy()
+            for shard in range(self.num_shards):
+                base = shard * self.shard_size
+                window = new_values[base : base + self.shard_size].copy()
+                touched = False
+                for source_shard in np.flatnonzero(dirty):
+                    span = self.window(shard, int(source_shard))
+                    if span.start == span.stop:
+                        continue
+                    touched = True
+                    edges_processed += span.stop - span.start
+                    candidates = program.relax(
+                        values[self.src[span]],
+                        None if self.weights is None else self.weights[span],
+                    )
+                    program.reduce.scatter(window, self.dst[span] - base, candidates)
+                if touched:
+                    new_values[base : base + self.shard_size] = window
+            changed = new_values != values
+            if not changed.any():
+                break
+            # a source window is dirty iff any of its nodes changed
+            dirty = np.zeros(self.num_shards, dtype=bool)
+            changed_nodes = np.flatnonzero(changed)
+            dirty[np.unique(changed_nodes // self.shard_size)] = True
+            values = new_values
+        else:
+            raise EngineError(
+                f"{program.name} (CW) did not converge within {max_iterations} sweeps"
+            )
+        return values, iterations, edges_processed
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_words(self) -> int:
+        """Words the representation keeps resident.
+
+        Three (or four, weighted) words per edge plus the shard and
+        window tables — the edge replication that makes CuSha the
+        first framework to OOM as graphs grow.
+        """
+        per_edge = 3 if self.weights is None else 4
+        return (
+            per_edge * self.num_edges
+            + len(self.shard_offsets)
+            + self.window_offsets.size
+            + 2 * self.num_nodes  # double-buffered value windows
+        )

@@ -1,0 +1,130 @@
+"""Method wrappers for the hardwired primitives (project-website bench).
+
+Each wraps one :mod:`repro.algorithms.hardwired` primitive as a
+:class:`~repro.baselines.base.Method` so the harness can drop them
+into the same comparison tables as the general frameworks.  Their cost
+profiles reflect hand-tuned kernels: lean per-thread setup, scan-based
+coalesced layouts, single-kernel iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.hardwired import (
+    delta_stepping_sssp,
+    direction_optimizing_bfs,
+    gas_pagerank,
+    pointer_jumping_cc,
+)
+from repro.baselines.base import Method, MethodResult
+from repro.baselines.memory import csr_bytes
+from repro.gpu.config import GPUConfig, KernelProfile
+from repro.gpu.simulator import GPUSimulator
+from repro.graph.csr import CSRGraph
+
+#: lean hand-tuned kernel profile shared by the hardwired methods.
+_HARDWIRED_PROFILE = KernelProfile(
+    name="hardwired",
+    cycles_per_step=5.0,
+    cycles_per_thread=3.0,
+    instructions_per_edge=8.0,
+    instructions_per_thread=5.0,
+)
+
+
+class _HardwiredBase(Method):
+    """Common plumbing: one primitive, one algorithm."""
+
+    algorithm: str = ""
+
+    def supports(self, algorithm: str) -> bool:
+        return algorithm == self.algorithm
+
+    def footprint(self, graph: CSRGraph, algorithm: str) -> int:
+        # CSR (+ reverse CSR when the primitive gathers) + values.
+        total = csr_bytes(graph) + 2 * graph.num_nodes * 8
+        if self.uses_reverse_graph:
+            total += csr_bytes(graph)
+        return total
+
+    #: whether the primitive materialises the reverse CSR.
+    uses_reverse_graph = False
+
+
+class DirectionOptimizingBFSMethod(_HardwiredBase):
+    """Merrill/Beamer-class BFS (push/pull switching)."""
+
+    name = "do-bfs"
+    algorithm = "bfs"
+    uses_reverse_graph = True
+
+    def _execute(self, graph, algorithm, source, config: GPUConfig) -> MethodResult:
+        simulator = GPUSimulator(config, _HARDWIRED_PROFILE)
+        result = direction_optimizing_bfs(graph, source, simulator=simulator)
+        return MethodResult(
+            method=self.name, algorithm=algorithm, values=result.values,
+            time_ms=result.metrics.total_time_ms, metrics=result.metrics,
+            notes={"bottom_up_levels": float(result.notes["bottom_up_levels"])},
+        )
+
+
+class DeltaSteppingSSSPMethod(_HardwiredBase):
+    """Davidson et al.-class SSSP (Δ-stepping buckets)."""
+
+    name = "delta-sssp"
+    algorithm = "sssp"
+
+    def __init__(self, delta: Optional[float] = None) -> None:
+        self.delta = delta
+
+    def _execute(self, graph, algorithm, source, config: GPUConfig) -> MethodResult:
+        simulator = GPUSimulator(config, _HARDWIRED_PROFILE)
+        result = delta_stepping_sssp(graph, source, delta=self.delta,
+                                     simulator=simulator)
+        return MethodResult(
+            method=self.name, algorithm=algorithm, values=result.values,
+            time_ms=result.metrics.total_time_ms, metrics=result.metrics,
+            notes={"delta": float(result.notes["delta"])},
+        )
+
+
+class PointerJumpingCCMethod(_HardwiredBase):
+    """ECL-CC-class connected components (hook + pointer jump)."""
+
+    name = "ecl-cc"
+    algorithm = "cc"
+
+    def _execute(self, graph, algorithm, source, config: GPUConfig) -> MethodResult:
+        simulator = GPUSimulator(config, _HARDWIRED_PROFILE)
+        result = pointer_jumping_cc(graph, simulator=simulator)
+        return MethodResult(
+            method=self.name, algorithm=algorithm, values=result.values,
+            time_ms=result.metrics.total_time_ms, metrics=result.metrics,
+        )
+
+
+class GASPageRankMethod(_HardwiredBase):
+    """Elsen & Vaidyanathan-class PR (gather-apply-scatter)."""
+
+    name = "gas-pr"
+    algorithm = "pr"
+    uses_reverse_graph = True
+
+    def _execute(self, graph, algorithm, source, config: GPUConfig) -> MethodResult:
+        simulator = GPUSimulator(config, _HARDWIRED_PROFILE)
+        result = gas_pagerank(graph, simulator=simulator)
+        return MethodResult(
+            method=self.name, algorithm=algorithm, values=result.values,
+            time_ms=result.metrics.total_time_ms, metrics=result.metrics,
+        )
+
+
+def hardwired_methods() -> list:
+    """The four project-website comparators."""
+    return [
+        DirectionOptimizingBFSMethod(),
+        DeltaSteppingSSSPMethod(),
+        PointerJumpingCCMethod(),
+        GASPageRankMethod(),
+    ]

@@ -1,0 +1,107 @@
+"""Device-memory footprint models behind Table 4's OOM entries.
+
+Each function estimates, from first principles, the bytes a framework
+keeps resident on the device for one run.  The constants encode each
+system's documented representation:
+
+* the **CSR family** (baseline, Tigr, MW) stores offsets + targets
+  (+ weights), a value array, and a worklist;
+* **Tigr-V/V+** adds the virtual node array: two words per virtual
+  node (Figure 10);
+* **CuSha** converts the graph into G-Shards, replicating per-edge
+  records (source index, destination index, source-value slot, and
+  weight when present) *while the input CSR is still resident*, plus
+  per-node window/offset bookkeeping across shards — the
+  representation the paper identifies as the OOM culprit on
+  ``sinaweibo``/``twitter``;
+* **Gunrock** keeps CSR plus double-buffered edge frontiers; its
+  direction-optimised BFS additionally materialises the reverse CSR,
+  which is what pushes BFS-on-``sinaweibo`` over the limit in
+  Table 4 while its SSSP run survives.
+
+All words are 8 bytes, matching the rest of the library (the device
+budget in :class:`repro.gpu.GPUConfig` is scaled accordingly).
+"""
+
+from __future__ import annotations
+
+from repro.graph.csr import CSRGraph
+
+WORD = 8
+
+
+def csr_bytes(graph: CSRGraph) -> int:
+    """Plain CSR: offsets + targets (+ weights)."""
+    words = (graph.num_nodes + 1) + graph.num_edges
+    if graph.is_weighted:
+        words += graph.num_edges
+    return words * WORD
+
+
+def _values_and_worklist(graph: CSRGraph) -> int:
+    # value array + double-buffered node worklist
+    return 3 * graph.num_nodes * WORD
+
+
+def baseline_bytes(graph: CSRGraph, algorithm: str) -> int:
+    """Baseline engine and Tigr-UDT (on its transformed graph)."""
+    return csr_bytes(graph) + _values_and_worklist(graph)
+
+
+def tigr_virtual_bytes(graph: CSRGraph, algorithm: str, degree_bound: int) -> int:
+    """Tigr-V / Tigr-V+: CSR + virtual node array + values/worklist."""
+    degrees = graph.out_degrees()
+    virtual_nodes = int(((degrees + degree_bound - 1) // degree_bound).sum())
+    return csr_bytes(graph) + 2 * virtual_nodes * WORD + _values_and_worklist(graph)
+
+
+def maxwarp_bytes(graph: CSRGraph, algorithm: str) -> int:
+    """MW modifies thread execution only: CSR + values, no worklist."""
+    return csr_bytes(graph) + 2 * graph.num_nodes * WORD
+
+
+def cusha_bytes(graph: CSRGraph, algorithm: str) -> int:
+    """CuSha G-Shards / Concatenated Windows.
+
+    Shard entries: (src idx, dst idx, src-value slot) and the weight
+    when weighted — 3–4 words per edge — coexisting with the input
+    CSR during conversion; plus ~20 words per node of window offsets,
+    shard boundaries and double-buffered values.
+    """
+    entry_words = 4 if graph.is_weighted else 3
+    shard = graph.num_edges * entry_words * WORD
+    windows = graph.num_nodes * 20 * WORD
+    values = 2 * graph.num_nodes * WORD
+    return shard + csr_bytes(graph) + windows + values
+
+
+def gunrock_bytes(graph: CSRGraph, algorithm: str) -> int:
+    """Gunrock: CSR + frontier queues (+ reverse CSR for BFS).
+
+    Direction-optimised BFS materialises the reverse CSR *and*
+    double-buffers generously sized (1.5×|E|) edge frontiers; the
+    other primitives keep a single edge frontier plus a node frontier.
+    """
+    total = csr_bytes(graph) + 2 * graph.num_nodes * WORD
+    if algorithm == "bfs":
+        total += csr_bytes(graph)  # reverse CSR for pull phases
+        total += int(2 * 1.5 * graph.num_edges) * WORD
+    else:
+        total += graph.num_edges * WORD + graph.num_nodes * WORD
+    return total
+
+
+def footprint_bytes(method: str, graph: CSRGraph, algorithm: str, **kwargs) -> int:
+    """Dispatch by method name (used by reports and tests)."""
+    key = method.lower()
+    if key in ("baseline", "tigr-udt"):
+        return baseline_bytes(graph, algorithm)
+    if key in ("tigr-v", "tigr-v+"):
+        return tigr_virtual_bytes(graph, algorithm, kwargs.get("degree_bound", 10))
+    if key == "mw":
+        return maxwarp_bytes(graph, algorithm)
+    if key == "cusha":
+        return cusha_bytes(graph, algorithm)
+    if key == "gunrock":
+        return gunrock_bytes(graph, algorithm)
+    raise KeyError(f"unknown method {method!r}")

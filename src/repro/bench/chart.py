@@ -1,0 +1,74 @@
+"""Terminal bar charts for figure-type experiments.
+
+The paper's Figure 13 is a grouped bar chart; this renders the same
+data as aligned unicode bars so ``python -m repro.bench fig13`` shows
+an actual figure, not only a table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: glyph used for whole bar cells.
+BAR = "█"
+#: eighth-width glyphs for the fractional cell.
+PARTIAL = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def render_bar(value: float, max_value: float, width: int = 40) -> str:
+    """One horizontal bar scaled so ``max_value`` fills ``width`` cells."""
+    if max_value <= 0 or value <= 0:
+        return ""
+    cells = value / max_value * width
+    whole = int(cells)
+    fraction = int((cells - whole) * 8)
+    return BAR * whole + PARTIAL[fraction]
+
+
+def bar_chart(
+    rows: Sequence[Dict],
+    *,
+    label_key: str,
+    value_keys: Sequence[str],
+    width: int = 40,
+    title: Optional[str] = None,
+    reference: Optional[float] = None,
+) -> str:
+    """A grouped horizontal bar chart.
+
+    One group per row (labelled by ``label_key``), one bar per entry
+    of ``value_keys``.  ``reference`` draws a marker column at that
+    value (Figure 13's "1x = baseline" line).
+    """
+    values = [
+        float(row[key])
+        for row in rows for key in value_keys
+        if isinstance(row.get(key), (int, float)) and row[key] == row[key]
+    ]
+    if not values:
+        return (title + "\n" if title else "") + "(no data)"
+    max_value = max(values + ([reference] if reference else []))
+
+    label_width = max(
+        [len(str(row[label_key])) for row in rows] + [len(k) for k in value_keys]
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ref_col = (
+        int(reference / max_value * width) if reference and max_value > 0 else None
+    )
+    for row in rows:
+        lines.append(f"{row[label_key]}")
+        for key in value_keys:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value != value:
+                lines.append(f"  {key:<{label_width}}  (n/a)")
+                continue
+            bar = render_bar(float(value), max_value, width)
+            if ref_col is not None and len(bar) < ref_col:
+                bar = bar + " " * (ref_col - len(bar)) + "|"
+            lines.append(f"  {key:<{label_width}}  {bar} {value:.2f}")
+    if reference:
+        lines.append(f"  {'':<{label_width}}  {' ' * (ref_col or 0)}^ {reference:g}x reference")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Persisting experiment reports as machine-readable artifacts.
+
+``python -m repro.bench --json results/`` writes one JSON file per
+experiment next to the printed tables, so downstream analysis
+(plotting, regression tracking across library versions) never has to
+scrape text output.  The schema is deliberately flat: metadata plus
+the report's rows and extras exactly as produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Union
+
+from repro.bench.report import ExperimentReport
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: bumped when the JSON layout changes.
+SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: ExperimentReport) -> Dict[str, Any]:
+    """The JSON-ready representation of a report."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": report.experiment,
+        "description": report.description,
+        "rows": [_jsonable(row) for row in report.rows],
+        "extras": _jsonable(report.extras),
+    }
+
+
+def save_report(report: ExperimentReport, path: PathLike) -> None:
+    """Write one report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report_to_dict(report), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: PathLike) -> ExperimentReport:
+    """Read a report saved by :func:`save_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    report = ExperimentReport(
+        experiment=payload["experiment"],
+        description=payload["description"],
+    )
+    report.rows.extend(payload["rows"])
+    report.extras.update(payload["extras"])
+    return report
+
+
+def export_key(experiment_name: str) -> str:
+    """Filesystem-safe file stem for an experiment name."""
+    return (
+        experiment_name.lower()
+        .replace(" ", "_").replace(".", "").replace("/", "-")
+    )
+
+
+def compare_results(
+    baseline_dir: PathLike,
+    candidate_dir: PathLike,
+    *,
+    tolerance: float = 0.10,
+) -> Dict[str, Any]:
+    """Diff two result directories written by ``--json``.
+
+    The regression check a CI pipeline wants: for every experiment
+    present in both directories, compare each numeric cell and report
+    relative drifts beyond ``tolerance`` plus any structural changes
+    (rows or columns appearing/disappearing).  Non-numeric cells
+    (winners, OOM markers) must match exactly.
+
+    Returns ``{"experiments": int, "drifts": [...], "structural": [...]}``
+    — empty lists mean the runs agree.
+    """
+    import glob
+
+    drifts = []
+    structural = []
+    compared = 0
+    baseline_files = {
+        os.path.basename(p): p
+        for p in glob.glob(os.path.join(str(baseline_dir), "*.json"))
+    }
+    candidate_files = {
+        os.path.basename(p): p
+        for p in glob.glob(os.path.join(str(candidate_dir), "*.json"))
+    }
+    for name in sorted(set(baseline_files) - set(candidate_files)):
+        structural.append(f"experiment removed: {name}")
+    for name in sorted(set(candidate_files) - set(baseline_files)):
+        structural.append(f"experiment added: {name}")
+
+    for name in sorted(set(baseline_files) & set(candidate_files)):
+        compared += 1
+        before = load_report(baseline_files[name])
+        after = load_report(candidate_files[name])
+        if len(before.rows) != len(after.rows):
+            structural.append(
+                f"{name}: row count {len(before.rows)} -> {len(after.rows)}"
+            )
+            continue
+        for index, (old, new) in enumerate(zip(before.rows, after.rows)):
+            if set(old) != set(new):
+                structural.append(f"{name}[{index}]: columns changed")
+                continue
+            for key, old_value in old.items():
+                new_value = new[key]
+                if isinstance(old_value, (int, float)) and isinstance(
+                    new_value, (int, float)
+                ) and not isinstance(old_value, bool):
+                    denom = max(abs(old_value), 1e-12)
+                    drift = abs(new_value - old_value) / denom
+                    if drift > tolerance:
+                        drifts.append(
+                            f"{name}[{index}].{key}: {old_value} -> {new_value} "
+                            f"({drift:+.0%})"
+                        )
+                elif old_value != new_value:
+                    drifts.append(
+                        f"{name}[{index}].{key}: {old_value!r} -> {new_value!r}"
+                    )
+    return {"experiments": compared, "drifts": drifts, "structural": structural}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and other non-JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist") and callable(value.tolist):  # numpy array
+        return value.tolist()
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return str(value)
+    return value

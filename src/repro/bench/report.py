@@ -1,0 +1,86 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0.0 for empty input)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: List[Dict[str, Any]], *, title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    Column order follows first appearance across rows; missing cells
+    render as ``-``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(col, "-")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table/figure: rows of cells plus metadata.
+
+    ``rows`` are ordered dicts (column -> value); ``extras`` carries
+    experiment-level aggregates (e.g. Figure 13's geometric means).
+    """
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **cells: Any) -> None:
+        self.rows.append(dict(cells))
+
+    def to_text(self) -> str:
+        text = format_table(self.rows, title=f"{self.experiment}: {self.description}")
+        if self.extras:
+            extra_lines = [f"  {k} = {_fmt(v)}" for k, v in self.extras.items()]
+            text += "\n" + "\n".join(extra_lines)
+        return text
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, skipping missing cells."""
+        return [row[name] for row in self.rows if name in row]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

@@ -1,0 +1,101 @@
+"""Size-scaling study: linearity of the transformations (§6.4).
+
+The paper: "In general, the transformation time is proportional to
+the size of the graph for both physical and virtual graph
+transformations."  This experiment sweeps the stand-in scale factor
+and fits the growth exponent of transformation time vs edge count —
+a slope near 1 on a log-log fit confirms linearity.  It also tracks
+the Tigr-V+ SSSP speedup across scales, which should persist rather
+than be an artifact of one graph size.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import sssp
+from repro.baselines.simple import BaselineMethod
+from repro.baselines.tigr import TigrVirtualMethod
+from repro.bench.report import ExperimentReport
+from repro.bench.tables import default_source
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.gpu.config import GPUConfig
+from repro.graph.datasets import DATASETS, load_dataset
+
+
+def transform_scaling(
+    *,
+    dataset: str = "livejournal",
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    seed: Optional[int] = None,
+    repeats: int = 3,
+) -> ExperimentReport:
+    """Transformation wall-clock vs graph size (log-log slope ~ 1)."""
+    report = ExperimentReport(
+        "Scaling transform", f"transformation time vs |E| ({dataset})"
+    )
+    spec = DATASETS[dataset]
+    edges, phys_times, virt_times = [], [], []
+    for scale in scales:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        physical = min(
+            _timed(lambda: udt_transform(graph, spec.k_udt)) for _ in range(repeats)
+        )
+        virtual = min(
+            _timed(lambda: virtual_transform(graph, spec.k_v, coalesced=True))
+            for _ in range(repeats)
+        )
+        edges.append(graph.num_edges)
+        phys_times.append(physical)
+        virt_times.append(virtual)
+        report.add_row(
+            scale=scale, edges=graph.num_edges,
+            physical_ms=physical * 1e3, virtual_ms=virtual * 1e3,
+        )
+    report.extras["physical_slope"] = _loglog_slope(edges, phys_times)
+    report.extras["virtual_slope"] = _loglog_slope(edges, virt_times)
+    return report
+
+
+def speedup_scaling(
+    *,
+    dataset: str = "livejournal",
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    seed: Optional[int] = None,
+    config: Optional[GPUConfig] = None,
+) -> ExperimentReport:
+    """Tigr-V+ speedup over the baseline across graph sizes."""
+    report = ExperimentReport(
+        "Scaling speedup", f"Tigr-V+ speedup vs graph size (SSSP, {dataset})"
+    )
+    config = config or GPUConfig()
+    spec = DATASETS[dataset]
+    for scale in scales:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        source = default_source(graph)
+        base = BaselineMethod().run(graph, "sssp", source, config=config)
+        tigr = TigrVirtualMethod(degree_bound=spec.k_v, coalesced=True).run(
+            graph, "sssp", source, config=config
+        )
+        report.add_row(
+            scale=scale, edges=graph.num_edges,
+            baseline_ms=base.time_ms, tigr_ms=tigr.time_ms,
+            speedup=base.time_ms / tigr.time_ms,
+        )
+    return report
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    lx, ly = np.log(np.asarray(xs, float)), np.log(np.asarray(ys, float))
+    return float(np.polyfit(lx, ly, 1)[0])

@@ -1,0 +1,46 @@
+"""Tigr's core contribution: split transformations, physical and virtual.
+
+Physical transformations (:mod:`repro.core.splits`,
+:mod:`repro.core.udt`) rewrite the graph structure — they split every
+node whose outdegree exceeds a bound *K* into a *family* of nodes with
+degree ≤ *K* (§3 of the paper).  Virtual transformation
+(:mod:`repro.core.virtual`) instead overlays a virtual node array on
+the untouched CSR (§4), optionally with edge-array coalescing (§4.4).
+"""
+
+from repro.core.analysis import SplitProperties, predict_properties
+from repro.core.dynamic import DynamicMapper
+from repro.core.properties import (
+    check_split_transformation,
+    family_members,
+    verify_degree_bound,
+    verify_distance_preservation,
+    verify_path_preservation,
+    verify_widest_path_preservation,
+)
+from repro.core.splits import clique_transform, circular_transform, star_transform
+from repro.core.types import TransformResult, TransformStats
+from repro.core.udt import udt_transform
+from repro.core.virtual import VirtualGraph, virtual_transform
+from repro.core.weights import DumbWeight
+
+__all__ = [
+    "TransformResult",
+    "TransformStats",
+    "DumbWeight",
+    "udt_transform",
+    "clique_transform",
+    "circular_transform",
+    "star_transform",
+    "VirtualGraph",
+    "virtual_transform",
+    "DynamicMapper",
+    "SplitProperties",
+    "predict_properties",
+    "check_split_transformation",
+    "family_members",
+    "verify_degree_bound",
+    "verify_distance_preservation",
+    "verify_path_preservation",
+    "verify_widest_path_preservation",
+]

@@ -1,0 +1,38 @@
+"""Internal: pack COO edges plus parallel metadata into a CSR graph.
+
+Like :func:`repro.graph.builder.from_arrays`, but also carries the
+``new_edge_mask`` metadata through the stable source sort so transform
+modules can report which CSR slots hold transformation-introduced
+edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, NODE_DTYPE
+
+
+def pack_with_mask(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray],
+    new_edge_mask: np.ndarray,
+    num_nodes: int,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Stable-sort COO arrays by source and build ``(graph, mask)``."""
+    sources = np.asarray(sources, dtype=NODE_DTYPE)
+    targets = np.asarray(targets, dtype=NODE_DTYPE)
+    order = np.argsort(sources, kind="stable")
+    counts = np.bincount(sources, minlength=num_nodes)
+    offsets = np.zeros(num_nodes + 1, dtype=NODE_DTYPE)
+    np.cumsum(counts, out=offsets[1:])
+    graph = CSRGraph(
+        offsets,
+        targets[order],
+        None if weights is None else np.asarray(weights)[order],
+        validate=False,
+    )
+    return graph, np.asarray(new_edge_mask, dtype=bool)[order]

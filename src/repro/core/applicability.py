@@ -1,0 +1,119 @@
+"""Applicability of split transformations per analytic (§3.3).
+
+The paper closes §3.3 with: "by checking the graph property
+requirements, the applicability of UDT or other split transformations
+for a specific graph analysis can be determined."  This module encodes
+that check: every analytic declares which graph properties it relies
+on, and split safety follows from whether UDT preserves all of them
+(Theorem 1 and Corollaries 1–4 preserve connectivity, paths/distances,
+bottlenecks and in/outdegrees; neighborhood structure is *not*
+preserved — split nodes change who is whose direct neighbor).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.weights import DumbWeight
+
+
+class GraphProperty(enum.Enum):
+    """Graph properties an analytic's answer can depend on."""
+
+    #: which nodes are mutually reachable (Corollary 1 preserves it).
+    CONNECTIVITY = "connectivity"
+    #: pairwise path distances (Corollary 2, dumb weight 0).
+    DISTANCES = "distances"
+    #: per-path minimum edge weight (Corollary 3, dumb weight +inf).
+    BOTTLENECKS = "bottlenecks"
+    #: in/outdegrees of original nodes (Corollary 4).
+    DEGREES = "degrees"
+    #: the exact 1-hop neighborhood of each node — NOT preserved:
+    #: a split node's neighbors are distributed across its family.
+    NEIGHBORHOODS = "neighborhoods"
+
+
+#: properties UDT preserves, mapped to the corollary that proves it.
+PRESERVED_BY_UDT: Dict[GraphProperty, str] = {
+    GraphProperty.CONNECTIVITY: "Corollary 1",
+    GraphProperty.DISTANCES: "Corollary 2 (dumb weight 0)",
+    GraphProperty.BOTTLENECKS: "Corollary 3 (dumb weight +inf)",
+    GraphProperty.DEGREES: "Corollary 4",
+}
+
+
+@dataclass(frozen=True)
+class AnalysisRequirements:
+    """What one analytic needs from the graph, and the verdict."""
+
+    analysis: str
+    requires: Tuple[GraphProperty, ...]
+    #: dumb-weight policy a physical transform must use (when safe).
+    dumb_weight: DumbWeight
+
+    @property
+    def split_safe(self) -> bool:
+        """Whether any split transformation can preserve this analytic."""
+        return all(prop in PRESERVED_BY_UDT for prop in self.requires)
+
+    @property
+    def justification(self) -> str:
+        """Which corollaries carry the proof, or why it fails."""
+        broken = [p for p in self.requires if p not in PRESERVED_BY_UDT]
+        if broken:
+            names = ", ".join(p.value for p in broken)
+            return f"not split-safe: depends on {names}, which splitting destroys"
+        cites = sorted({PRESERVED_BY_UDT[p] for p in self.requires})
+        return "split-safe by " + ", ".join(cites)
+
+
+#: the §3.3 applicability table: the six supported analytics plus the
+#: named counterexamples (graph coloring, triangle counting, clique
+#: detection).
+REQUIREMENTS: Dict[str, AnalysisRequirements] = {
+    req.analysis: req
+    for req in [
+        AnalysisRequirements("cc", (GraphProperty.CONNECTIVITY,), DumbWeight.NONE),
+        AnalysisRequirements("bfs", (GraphProperty.DISTANCES,), DumbWeight.ZERO),
+        AnalysisRequirements("sssp", (GraphProperty.DISTANCES,), DumbWeight.ZERO),
+        AnalysisRequirements("bc", (GraphProperty.DISTANCES,), DumbWeight.ZERO),
+        AnalysisRequirements("sswp", (GraphProperty.BOTTLENECKS,), DumbWeight.INFINITY),
+        AnalysisRequirements("pr", (GraphProperty.DEGREES,), DumbWeight.NONE),
+        AnalysisRequirements(
+            "triangle_counting", (GraphProperty.NEIGHBORHOODS,), DumbWeight.NONE
+        ),
+        AnalysisRequirements(
+            "graph_coloring", (GraphProperty.NEIGHBORHOODS,), DumbWeight.NONE
+        ),
+        AnalysisRequirements(
+            "clique_detection", (GraphProperty.NEIGHBORHOODS,), DumbWeight.NONE
+        ),
+    ]
+}
+
+
+def is_split_safe(analysis: str) -> bool:
+    """Whether physical split transformations preserve ``analysis``.
+
+    Raises :class:`KeyError` for analytics not in the §3.3 table.
+    """
+    return REQUIREMENTS[analysis].split_safe
+
+
+def explain(analysis: str) -> str:
+    """Human-readable applicability verdict with its justification."""
+    req = REQUIREMENTS[analysis]
+    verdict = "SAFE" if req.split_safe else "UNSAFE"
+    return f"{req.analysis}: {verdict} — {req.justification}"
+
+
+def split_safe_analyses() -> Tuple[str, ...]:
+    """The analytics UDT provably preserves (§3.3's positive list)."""
+    return tuple(sorted(a for a, r in REQUIREMENTS.items() if r.split_safe))
+
+
+def split_unsafe_analyses() -> Tuple[str, ...]:
+    """The §3.3 counterexamples."""
+    return tuple(sorted(a for a, r in REQUIREMENTS.items() if not r.split_safe))

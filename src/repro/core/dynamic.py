@@ -1,0 +1,117 @@
+"""On-the-fly mapping reasoning — the zero-memory virtualization (§4.1).
+
+The second virtualization design of the paper: instead of storing a
+virtual node array, the mapping between virtual and physical nodes is
+*recomputed* from the node-splitting logic whenever a thread needs it,
+trading computation for memory.
+
+A :class:`DynamicMapper` answers the same queries as the stored
+virtual node array — "which physical node does virtual node ``v'``
+belong to, and which edge slots does it own?" — using only the
+physical CSR offsets and the degree bound ``K``.  The reasoning is a
+binary search over the running sum of per-node virtual counts, which
+it reconstructs from ``ceil(degree/K)`` without materialising it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.virtual import VirtualGraph
+from repro.errors import TransformError
+from repro.graph.csr import CSRGraph, NODE_DTYPE
+
+
+class DynamicMapper:
+    """Compute virtual↔physical mappings on demand, storing nothing.
+
+    Equivalent in answers to :class:`~repro.core.virtual.VirtualGraph`
+    with the default (non-coalesced) layout; the equivalence is
+    checked by the test suite.  The only retained state is the
+    physical graph reference and ``K`` — the per-query cost is an
+    ``O(log |V|)`` search, the memory cost is zero, matching the
+    paper's "trades off computation cost for better memory
+    efficiency".
+    """
+
+    __slots__ = ("physical", "degree_bound")
+
+    def __init__(self, physical: CSRGraph, degree_bound: int) -> None:
+        if degree_bound < 1:
+            raise TransformError(f"degree bound K must be >= 1, got {degree_bound}")
+        self.physical = physical
+        self.degree_bound = int(degree_bound)
+
+    # ------------------------------------------------------------------
+    # The reasoning runtime
+    # ------------------------------------------------------------------
+    def num_virtual_nodes(self) -> int:
+        """Total virtual nodes — computed, not stored."""
+        degrees = self.physical.out_degrees()
+        k = self.degree_bound
+        return int(((degrees + k - 1) // k).sum())
+
+    def _virtual_prefix(self, physical_node: np.ndarray) -> np.ndarray:
+        """Number of virtual nodes preceding each physical node.
+
+        Reconstructed by prefix arithmetic over CSR offsets:
+        ``sum(ceil(d_i / K)) = sum((offsets[i+1] - offsets[i] + K - 1) // K)``.
+        The whole prefix is an O(|V|) cumsum; it is recomputed per
+        call and immediately discarded (nothing cached), which is the
+        design's compute-for-memory trade.
+        """
+        degrees = self.physical.out_degrees()
+        k = self.degree_bound
+        prefix = np.zeros(self.physical.num_nodes + 1, dtype=NODE_DTYPE)
+        np.cumsum((degrees + k - 1) // k, out=prefix[1:])
+        return prefix[physical_node]
+
+    def resolve(self, virtual_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map virtual ids to ``(physical_id, edge_start, edge_count)``.
+
+        The splitting logic: virtual node ``v'`` is the ``r``-th of its
+        family, owning physical edge slots
+        ``[offset + r*K, offset + min((r+1)*K, d))``.
+        """
+        vids = np.asarray(virtual_ids, dtype=NODE_DTYPE)
+        degrees = self.physical.out_degrees()
+        k = self.degree_bound
+        prefix = np.zeros(self.physical.num_nodes + 1, dtype=NODE_DTYPE)
+        np.cumsum((degrees + k - 1) // k, out=prefix[1:])
+        total = int(prefix[-1])
+        if len(vids) and (vids.min() < 0 or vids.max() >= total):
+            raise TransformError(
+                f"virtual id out of range [0, {total})"
+            )
+        physical = np.searchsorted(prefix, vids, side="right") - 1
+        rank = vids - prefix[physical]
+        starts = self.physical.offsets[physical] + rank * k
+        counts = np.minimum(k, degrees[physical] - rank * k)
+        return physical, starts, counts
+
+    def physical_of(self, virtual_id: int) -> int:
+        """The owning physical node of one virtual node."""
+        physical, _, _ = self.resolve(np.asarray([virtual_id]))
+        return int(physical[0])
+
+    def edge_slots(self, virtual_id: int) -> np.ndarray:
+        """Physical edge-array indices owned by one virtual node."""
+        _, starts, counts = self.resolve(np.asarray([virtual_id]))
+        return starts[0] + np.arange(counts[0], dtype=NODE_DTYPE)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def materialize(self) -> VirtualGraph:
+        """Build the equivalent stored virtual node array.
+
+        Provided for tests and for callers who decide the memory is
+        worth it after all.
+        """
+        return VirtualGraph(self.physical, self.degree_bound, coalesced=False)
+
+    def extra_memory_words(self) -> int:
+        """Persistent extra memory of this design: none."""
+        return 0

@@ -1,0 +1,217 @@
+"""Verifiers for the formal claims of §3 — Definition 2 through Corollary 4.
+
+Each verifier takes an original graph and a
+:class:`~repro.core.types.TransformResult` and checks one guarantee:
+
+* :func:`check_split_transformation` — the Definition 2 contract:
+  families are disjoint, original out-neighborhoods are covered, edges
+  are distributed by the degree bound.
+* :func:`verify_degree_bound` — the irregularity-reduction outcome.
+* :func:`verify_path_preservation` — Theorem 1 / Corollary 1
+  (reachability equivalence over original node ids).
+* :func:`verify_distance_preservation` — Corollary 2 (dumb weight 0
+  preserves pairwise distances).
+* :func:`verify_widest_path_preservation` — Corollary 3 (dumb weight
+  +inf preserves path bottlenecks).
+* :func:`verify_in_degrees` — Corollary 4 (push-based transforms keep
+  every original node's indegree).
+
+The verifiers are used by the test suite (including hypothesis
+property tests) and by ``examples/transform_playground.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.types import TransformResult
+from repro.graph.csr import CSRGraph
+
+
+def _sample_sources(graph: CSRGraph, num_sources: int, seed: Optional[int]):
+    """Sampled verification sources: always includes the max-outdegree
+    node (where split transformations actually act) plus random picks."""
+    n = graph.num_nodes
+    rng = np.random.default_rng(seed)
+    sources = {int(np.argmax(graph.out_degrees()))}
+    sources.update(int(s) for s in rng.integers(0, n, size=min(num_sources, n)))
+    return sorted(sources)
+
+
+def family_members(result: TransformResult) -> Dict[int, np.ndarray]:
+    """Family membership map (root id -> member ids, root included)."""
+    return result.families()
+
+
+def verify_degree_bound(result: TransformResult, *, strict: bool = True) -> int:
+    """Maximum outdegree of the transformed graph.
+
+    With ``strict=True`` asserts it does not exceed the bound — true
+    for UDT and ``T_circ`` (bound ``K + 1``); ``T_cliq`` and
+    ``T_star`` legitimately exceed ``K`` (Table 1), so callers check
+    those against their own formulas with ``strict=False``.
+    """
+    max_degree = result.graph.max_out_degree()
+    if strict and max_degree > result.stats.degree_bound:
+        raise AssertionError(
+            f"degree bound violated: max degree {max_degree} > K={result.stats.degree_bound}"
+        )
+    return max_degree
+
+
+def check_split_transformation(original: CSRGraph, result: TransformResult) -> None:
+    """Assert the Definition 2 contract holds.
+
+    Checks, for every split node ``v``:
+
+    1. the union of the family's outgoing *original* edges equals
+       ``N_v`` with multiplicity and weights (``N_B ⊇ N_v`` and
+       nothing lost);
+    2. family node sets are disjoint (families partition the new
+       nodes);
+    3. all incoming edges of ``v`` still arrive inside the family
+       (at the root, in this implementation).
+
+    Raises ``AssertionError`` with a diagnostic message on violation.
+    """
+    graph = result.graph
+    n = result.num_original_nodes
+
+    # (2) disjoint families: node_origin assigns each split node to
+    # exactly one root by construction; verify the shape at least.
+    if len(result.node_origin) != graph.num_nodes:
+        raise AssertionError("node_origin length does not match transformed graph")
+    if not np.array_equal(result.node_origin[:n], np.arange(n)):
+        raise AssertionError("original node ids must map to themselves")
+
+    # (1) original out-neighborhood coverage, per family.
+    original_weights = original.weights
+    mask = result.new_edge_mask
+    sources = graph.edge_sources()
+    roots = result.node_origin[sources]
+    for root, members in result.families().items():
+        # all original (non-new) edges emitted by this family
+        fam_slots = np.flatnonzero((roots == root) & ~mask)
+        fam_targets = np.sort(graph.targets[fam_slots])
+        expected = np.sort(original.neighbors(root))
+        if not np.array_equal(fam_targets, expected):
+            raise AssertionError(
+                f"family of node {root} does not cover its original neighbors"
+            )
+        if original_weights is not None and graph.weights is not None:
+            got = np.sort(graph.weights[fam_slots])
+            want = np.sort(original.edge_weights_of(root))
+            if not np.allclose(got, want):
+                raise AssertionError(
+                    f"family of node {root} altered original edge weights"
+                )
+
+    # (3) incoming edges of split nodes still land on original ids.
+    new_node_targets = graph.targets[~mask]
+    internal = new_node_targets >= n
+    if np.any(internal):
+        raise AssertionError("an original edge points at a split node")
+
+
+def _distances_over(graph: CSRGraph, source: int) -> np.ndarray:
+    from repro.algorithms.reference import reference_sssp
+
+    return reference_sssp(graph, source)
+
+
+def verify_path_preservation(
+    original: CSRGraph,
+    result: TransformResult,
+    *,
+    num_sources: int = 4,
+    seed: Optional[int] = 0,
+) -> None:
+    """Theorem 1 / Corollary 1: reachability is preserved.
+
+    For sampled sources, the set of reachable *original* nodes must be
+    identical before and after the transformation.
+    """
+    from repro.algorithms.reference import reference_bfs
+
+    n = original.num_nodes
+    if n == 0:
+        return
+    for src in _sample_sources(original, num_sources, seed):
+        before = np.isfinite(reference_bfs(original, src))
+        after = np.isfinite(reference_bfs(result.graph, src))[:n]
+        if not np.array_equal(before, after):
+            diff = np.flatnonzero(before != after)
+            raise AssertionError(
+                f"reachability from {src} changed for nodes {diff[:10].tolist()}"
+            )
+
+
+def verify_distance_preservation(
+    original: CSRGraph,
+    result: TransformResult,
+    *,
+    num_sources: int = 4,
+    seed: Optional[int] = 0,
+) -> None:
+    """Corollary 2: with dumb weight 0, pairwise distances survive.
+
+    Requires the transform to have been built with
+    :attr:`repro.core.weights.DumbWeight.ZERO`.  Unweighted originals
+    are compared as unit-weight SSSP (i.e. BFS hop counts), matching
+    how the transform promotes them.
+    """
+    n = original.num_nodes
+    if n == 0:
+        return
+    for src in _sample_sources(original, num_sources, seed):
+        before = _distances_over(original, src)
+        after = _distances_over(result.graph, src)[:n]
+        if not np.allclose(before, after, equal_nan=True):
+            diff = np.flatnonzero(~np.isclose(before, after))
+            raise AssertionError(
+                f"distances from {src} changed for nodes {diff[:10].tolist()}"
+            )
+
+
+def verify_widest_path_preservation(
+    original: CSRGraph,
+    result: TransformResult,
+    *,
+    num_sources: int = 4,
+    seed: Optional[int] = 0,
+) -> None:
+    """Corollary 3: with dumb weight +inf, path bottlenecks survive."""
+    from repro.algorithms.reference import reference_sswp
+
+    n = original.num_nodes
+    if n == 0:
+        return
+    for src in _sample_sources(original, num_sources, seed):
+        before = reference_sswp(original, src)
+        after = reference_sswp(result.graph, src)[:n]
+        if not np.allclose(before, after, equal_nan=True):
+            diff = np.flatnonzero(~np.isclose(before, after))
+            raise AssertionError(
+                f"path widths from {src} changed for nodes {diff[:10].tolist()}"
+            )
+
+
+def verify_in_degrees(original: CSRGraph, result: TransformResult) -> None:
+    """Corollary 4 (push-based form): original indegrees are preserved.
+
+    All incoming edges of a split node stay attached to the family
+    root, so every original node's indegree — counting only edges from
+    original, non-new sources... — must be unchanged.  New (family
+    internal) edges are excluded via the edge mask.
+    """
+    n = result.num_original_nodes
+    before = original.in_degrees()
+    original_edge_targets = result.graph.targets[~result.new_edge_mask]
+    after = np.bincount(original_edge_targets, minlength=result.graph.num_nodes)[:n]
+    if not np.array_equal(before, after):
+        diff = np.flatnonzero(before != after)
+        raise AssertionError(
+            f"indegrees changed for nodes {diff[:10].tolist()}"
+        )

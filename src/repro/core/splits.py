@@ -1,0 +1,144 @@
+"""The three reference split transformations of §3.1: clique, circular, star.
+
+These realise Definition 2 with different family connection
+topologies, illustrating the Table 1 trade-off between space cost,
+irregularity reduction, and value-propagation speed:
+
+============  ==========  ================  ===========
+topology      space cost  irregularity red  value prop.
+============  ==========  ================  ===========
+``T_cliq``    high        low               fast (1 hop)
+``T_circ``    low         high              slow (p-1 hops)
+``T_star``    low         varies            fast (1 hop)
+============  ==========  ================  ===========
+
+Implementation notes
+--------------------
+* The paper leaves the assignment of the original node's *incoming*
+  edges unspecified ("randomly assigned to the split nodes").  We keep
+  them all at the family root — a valid member of the transformation
+  class that preserves every Table 1 characteristic while keeping node
+  ids stable (the root keeps the original id).
+* The paper's Table 1 prints ``#new edges = ceil(d/K) - 1`` for the
+  circular topology; a circular connection over ``p`` family members
+  requires ``p`` edges to be strongly connected (with ``p - 1`` edges
+  the last member could never propagate back), so we create the full
+  cycle.  The ``max #hops = p - 1`` entry is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import TransformResult
+from repro.core.udt import _FamilyEdges, _run_split
+from repro.core.weights import DumbWeight
+from repro.errors import TransformError
+
+
+def _check_bound(degree_bound: int) -> None:
+    if degree_bound < 1:
+        raise TransformError(f"degree bound K must be >= 1, got {degree_bound}")
+
+
+def _chunk_starts(degree: int, chunk: int) -> np.ndarray:
+    """Start offsets of the ceil(degree/chunk) edge chunks."""
+    return np.arange(0, degree, chunk)
+
+
+def clique_transform(
+    graph,
+    degree_bound: int,
+    *,
+    dumb_weight: DumbWeight = DumbWeight.ZERO,
+) -> TransformResult:
+    """``T_cliq``: family members form a directed clique.
+
+    A node of degree ``d`` becomes ``p = ceil(d/K)`` family members
+    (root + ``p - 1`` new nodes), each owning one chunk of up to ``K``
+    original edges plus edges to every other member: ``p(p - 1)`` new
+    edges, family degree up to ``K + p - 1``, one hop to cover the
+    family.
+    """
+    _check_bound(degree_bound)
+
+    def build(root, nbr_ids, nbr_weights, k, next_id, dumb_value):
+        fam = _FamilyEdges(next_id)
+        d = len(nbr_ids)
+        starts = _chunk_starts(d, k)
+        members = [root] + [fam.new_node() for _ in range(len(starts) - 1)]
+        for member, lo in zip(members, starts):
+            for t, w in zip(nbr_ids[lo : lo + k], nbr_weights[lo : lo + k]):
+                fam.add_edge(member, int(t), float(w), False)
+        for a in members:
+            for b in members:
+                if a != b:
+                    fam.add_edge(a, b, dumb_value, True)
+        fam.hops = 1 if len(members) > 1 else 0
+        return fam
+
+    return _run_split(graph, degree_bound, dumb_weight, build)
+
+
+def circular_transform(
+    graph,
+    degree_bound: int,
+    *,
+    dumb_weight: DumbWeight = DumbWeight.ZERO,
+) -> TransformResult:
+    """``T_circ``: family members form a directed cycle.
+
+    Best irregularity reduction (family degree ≤ ``K + 1``) at the
+    lowest space cost, but values need up to ``p - 1`` hops to travel
+    around the family — the slow-convergence corner of the Table 1
+    trade-off.
+    """
+    _check_bound(degree_bound)
+
+    def build(root, nbr_ids, nbr_weights, k, next_id, dumb_value):
+        fam = _FamilyEdges(next_id)
+        d = len(nbr_ids)
+        starts = _chunk_starts(d, k)
+        members = [root] + [fam.new_node() for _ in range(len(starts) - 1)]
+        for member, lo in zip(members, starts):
+            for t, w in zip(nbr_ids[lo : lo + k], nbr_weights[lo : lo + k]):
+                fam.add_edge(member, int(t), float(w), False)
+        p = len(members)
+        if p > 1:
+            for i, member in enumerate(members):
+                fam.add_edge(member, members[(i + 1) % p], dumb_value, True)
+        fam.hops = max(0, p - 1)
+        return fam
+
+    return _run_split(graph, degree_bound, dumb_weight, build)
+
+
+def star_transform(
+    graph,
+    degree_bound: int,
+    *,
+    dumb_weight: DumbWeight = DumbWeight.ZERO,
+) -> TransformResult:
+    """``T_star``: a hub fans out to ``ceil(d/K)`` split nodes.
+
+    The root becomes the hub: it keeps all incoming edges, surrenders
+    every original outgoing edge to the split nodes, and gains one
+    edge per split node.  One hop covers the family, space cost is
+    ``ceil(d/K)`` new nodes/edges, but the hub's own degree
+    ``ceil(d/K)`` may still exceed ``K`` — the "hub node issue" that
+    motivates UDT (Figure 6).
+    """
+    _check_bound(degree_bound)
+
+    def build(root, nbr_ids, nbr_weights, k, next_id, dumb_value):
+        fam = _FamilyEdges(next_id)
+        d = len(nbr_ids)
+        for lo in _chunk_starts(d, k):
+            split = fam.new_node()
+            fam.add_edge(root, split, dumb_value, True)
+            for t, w in zip(nbr_ids[lo : lo + k], nbr_weights[lo : lo + k]):
+                fam.add_edge(split, int(t), float(w), False)
+        fam.hops = 1
+        return fam
+
+    return _run_split(graph, degree_bound, dumb_weight, build)

@@ -1,0 +1,230 @@
+"""Uniform-Degree Tree (UDT) transformation — Algorithm 1 of the paper.
+
+UDT splits every node whose outdegree exceeds the degree bound ``K``
+into a tree of split nodes, each of degree exactly ``K`` (except
+possibly the root), by repeatedly popping ``K`` pending children off a
+queue, attaching them to a fresh node, and pushing that node back.
+The construction guarantees (§3.2):
+
+* **P1** — UDT is a split transformation (Definition 2);
+* **P2** — a unique path connects the root (which keeps all incoming
+  edges) to each original outgoing edge;
+* **P3** — tree height grows only logarithmically, ``O(log_K d)``;
+* at most **one residual node** (degree < K) per family.
+
+Correctness for weighted analytics comes from *dumb weights* on the
+tree edges (Corollaries 2–3): zero for additive path metrics, +inf
+for bottleneck metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core._pack import pack_with_mask
+from repro.core.types import TransformResult, TransformStats
+from repro.core.weights import DumbWeight
+from repro.errors import TransformError
+from repro.graph.csr import CSRGraph, NODE_DTYPE, WEIGHT_DTYPE
+
+
+def udt_transform(
+    graph: CSRGraph,
+    degree_bound: int,
+    *,
+    dumb_weight: DumbWeight = DumbWeight.ZERO,
+) -> TransformResult:
+    """Apply UDT (Algorithm 1) to every high-degree node of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.  May be weighted or unweighted.
+    degree_bound:
+        ``K >= 1``.  After the transformation every node's outdegree
+        is at most ``K``.
+    dumb_weight:
+        Weight policy for tree-internal (new) edges.  With
+        :attr:`DumbWeight.NONE` the output stays unweighted (only
+        valid for connectivity-style analytics).  With ``ZERO`` or
+        ``INFINITY`` an unweighted input is promoted to weights of 1.0
+        on original edges, matching BFS-as-unit-SSSP semantics.
+
+    Returns
+    -------
+    TransformResult
+        Original node ids are preserved (family roots); split nodes
+        are appended after them.
+
+    Raises
+    ------
+    TransformError
+        If ``degree_bound < 2``.  (With ``K = 1`` the Algorithm 1
+        queue never shrinks — each new node consumes one unit and
+        produces one — so UDT requires ``K >= 2``.)
+    """
+    if degree_bound < 2:
+        raise TransformError(f"UDT requires degree bound K >= 2, got {degree_bound}")
+    return _run_split(graph, degree_bound, dumb_weight, _udt_family)
+
+
+# ---------------------------------------------------------------------------
+# Family builders share a tiny unit vocabulary:
+# a *unit* is (target_id, weight, is_new_edge, height).  Original
+# out-edges start as (t, w, False, 0); a freshly created split node is
+# pushed back as (new_id, dumb, True, h).  When a parent pops a unit it
+# emits edge parent->target with the unit's weight/mask.
+# ---------------------------------------------------------------------------
+
+Unit = Tuple[int, float, bool, int]
+
+
+def _udt_family(
+    root: int,
+    neighbor_ids: np.ndarray,
+    neighbor_weights: np.ndarray,
+    degree_bound: int,
+    next_node_id: int,
+    dumb_value: float,
+) -> "_FamilyEdges":
+    """Algorithm 1 for one high-degree node.
+
+    Returns the family's edges and bookkeeping.  ``next_node_id`` is
+    the id assigned to the first split node created here.
+    """
+    queue: "deque[Unit]" = deque(
+        (int(t), float(w), False, 0)
+        for t, w in zip(neighbor_ids, neighbor_weights)
+    )
+    fam = _FamilyEdges(next_node_id)
+    k = degree_bound
+    while len(queue) > k:
+        new_node = fam.new_node()
+        height = 0
+        for _ in range(k):
+            target, weight, is_new, h = queue.popleft()
+            fam.add_edge(new_node, target, weight, is_new)
+            height = max(height, h)
+        queue.append((new_node, dumb_value, True, height + 1))
+    height = 0
+    while queue:
+        target, weight, is_new, h = queue.popleft()
+        fam.add_edge(root, target, weight, is_new)
+        height = max(height, h)
+    fam.hops = height
+    return fam
+
+
+class _FamilyEdges:
+    """Mutable edge accumulator for one family under construction."""
+
+    __slots__ = ("first_new_id", "num_new", "src", "dst", "wgt", "mask", "hops")
+
+    def __init__(self, first_new_id: int) -> None:
+        self.first_new_id = first_new_id
+        self.num_new = 0
+        self.src: List[int] = []
+        self.dst: List[int] = []
+        self.wgt: List[float] = []
+        self.mask: List[bool] = []
+        self.hops = 0
+
+    def new_node(self) -> int:
+        node = self.first_new_id + self.num_new
+        self.num_new += 1
+        return node
+
+    def add_edge(self, src: int, dst: int, weight: float, is_new: bool) -> None:
+        self.src.append(src)
+        self.dst.append(dst)
+        self.wgt.append(weight)
+        self.mask.append(is_new)
+
+    @property
+    def num_new_edges(self) -> int:
+        return sum(self.mask)
+
+
+def _run_split(graph, degree_bound, dumb_weight, family_builder) -> TransformResult:
+    """Shared driver: apply ``family_builder`` to each high-degree node.
+
+    Used by UDT here and by the clique/circular/star transforms in
+    :mod:`repro.core.splits` — they differ only in how a single
+    family is wired.
+    """
+    n = graph.num_nodes
+    degrees = graph.out_degrees()
+    high = np.flatnonzero(degrees > degree_bound)
+
+    weighted_out = dumb_weight is not DumbWeight.NONE or graph.is_weighted
+    if graph.is_weighted:
+        base_weights = graph.weights
+    else:
+        # Promote unweighted input: original edges weigh 1 (BFS hop).
+        base_weights = np.ones(graph.num_edges, dtype=WEIGHT_DTYPE)
+    if dumb_weight is DumbWeight.NONE:
+        dumb_value = 0.0  # written only into weighted outputs (CC ignores)
+    else:
+        dumb_value = dumb_weight.value_for_new_edges
+
+    # Edges of nodes that are NOT split survive verbatim.
+    keep_mask = np.repeat(degrees <= degree_bound, degrees)
+    src_parts = [graph.edge_sources()[keep_mask]]
+    dst_parts = [graph.targets[keep_mask]]
+    wgt_parts = [base_weights[keep_mask]]
+    msk_parts = [np.zeros(int(keep_mask.sum()), dtype=bool)]
+
+    next_id = n
+    total_new_nodes = 0
+    total_new_edges = 0
+    max_hops = 0
+    origin_tail: List[np.ndarray] = []
+
+    for root in high:
+        fam = family_builder(
+            int(root),
+            graph.neighbors(int(root)),
+            base_weights[graph.offsets[root] : graph.offsets[root + 1]],
+            degree_bound,
+            next_id,
+            dumb_value,
+        )
+        src_parts.append(np.asarray(fam.src, dtype=NODE_DTYPE))
+        dst_parts.append(np.asarray(fam.dst, dtype=NODE_DTYPE))
+        wgt_parts.append(np.asarray(fam.wgt, dtype=WEIGHT_DTYPE))
+        msk_parts.append(np.asarray(fam.mask, dtype=bool))
+        if fam.num_new:
+            origin_tail.append(np.full(fam.num_new, root, dtype=NODE_DTYPE))
+        next_id += fam.num_new
+        total_new_nodes += fam.num_new
+        total_new_edges += fam.num_new_edges
+        max_hops = max(max_hops, fam.hops)
+
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    wgt = np.concatenate(wgt_parts) if weighted_out else None
+    msk = np.concatenate(msk_parts)
+    new_graph, sorted_mask = pack_with_mask(src, dst, wgt, msk, next_id)
+
+    node_origin = np.concatenate(
+        [np.arange(n, dtype=NODE_DTYPE)] + origin_tail
+    ) if origin_tail else np.arange(n, dtype=NODE_DTYPE)
+
+    stats = TransformStats(
+        degree_bound=degree_bound,
+        num_families=len(high),
+        new_nodes=total_new_nodes,
+        new_edges=total_new_edges,
+        max_degree_after=new_graph.max_out_degree(),
+        max_family_hops=max_hops,
+    )
+    return TransformResult(
+        graph=new_graph,
+        node_origin=node_origin,
+        new_edge_mask=sorted_mask,
+        num_original_nodes=n,
+        stats=stats,
+    )

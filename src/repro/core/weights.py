@@ -1,0 +1,66 @@
+"""Dumb-weight policies for physically transformed graphs (§3.3).
+
+A physical split transformation introduces new edges (``E_new`` in
+Theorem 1).  For weighted analytics to stay correct, those edges must
+contribute nothing to the metric being computed:
+
+* additive path metrics (SSSP, BFS-as-unit-SSSP, BC distance phases)
+  need weight **0** on new edges (Corollary 2);
+* bottleneck path metrics (SSWP) need weight **+inf** (Corollary 3);
+* connectivity analytics (CC) ignore weights entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DumbWeight(enum.Enum):
+    """Weight assigned to transformation-introduced edges.
+
+    Members
+    -------
+    ZERO:
+        New edges cost nothing on a path sum — preserves pairwise
+        distances (Corollary 2; SSSP, BFS, BC).
+    INFINITY:
+        New edges never constrain a path's bottleneck — preserves
+        minimal edge weight along paths (Corollary 3; SSWP).
+    NONE:
+        The transformed graph stays unweighted (CC, plain reachability).
+    """
+
+    ZERO = "zero"
+    INFINITY = "infinity"
+    NONE = "none"
+
+    @property
+    def value_for_new_edges(self) -> float:
+        """The numeric weight written onto ``E_new`` edges.
+
+        Raises :class:`ValueError` for :attr:`NONE`, which produces
+        unweighted graphs and therefore has no numeric value.
+        """
+        if self is DumbWeight.ZERO:
+            return 0.0
+        if self is DumbWeight.INFINITY:
+            return float(np.inf)
+        raise ValueError("DumbWeight.NONE does not assign numeric weights")
+
+    @classmethod
+    def for_algorithm(cls, algorithm: str) -> "DumbWeight":
+        """The policy each paper analytic requires.
+
+        ``algorithm`` is one of ``bfs``, ``sssp``, ``bc``, ``sswp``,
+        ``cc``, ``pagerank`` (case-insensitive).
+        """
+        key = algorithm.lower()
+        if key in ("bfs", "sssp", "bc"):
+            return cls.ZERO
+        if key == "sswp":
+            return cls.INFINITY
+        if key in ("cc", "pagerank", "pr"):
+            return cls.NONE
+        raise ValueError(f"unknown algorithm {algorithm!r}")

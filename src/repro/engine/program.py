@@ -1,0 +1,100 @@
+"""Vertex programs: the ``vertex_func`` abstraction of §2.1.
+
+A push-based vertex program is a pair (relax, reduce):
+
+* ``relax(src_value, edge_weight) -> candidate`` computes the value a
+  node offers each out-neighbor (``alt = v.dist + weight`` in
+  Figure 2);
+* the reduction folds candidates into the destination's value
+  (``atomicMin`` in Algorithm 2).
+
+All six paper analytics fit this shape with MIN/MAX/ADD reductions,
+which are associative and commutative — the property Theorem 3 needs
+for pull-based virtual correctness, and what makes scatter order
+irrelevant (so numpy's ``ufunc.at`` faithfully models the GPU's
+atomics).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Monotone reduction applied at the destination node."""
+
+    MIN = "min"
+    MAX = "max"
+    ADD = "add"
+
+    def scatter(self, values: np.ndarray, index: np.ndarray, candidates: np.ndarray) -> None:
+        """Apply the reduction in place: ``values[index] op= candidates``.
+
+        Uses unbuffered ``ufunc.at`` so repeated indices fold
+        correctly — the numpy equivalent of the GPU's atomic
+        operations.
+        """
+        if self is ReduceOp.MIN:
+            np.minimum.at(values, index, candidates)
+        elif self is ReduceOp.MAX:
+            np.maximum.at(values, index, candidates)
+        else:
+            np.add.at(values, index, candidates)
+
+    @property
+    def identity(self) -> float:
+        """The value that leaves the reduction unchanged."""
+        if self is ReduceOp.MIN:
+            return float(np.inf)
+        if self is ReduceOp.MAX:
+            return float(-np.inf)
+        return 0.0
+
+
+class PushProgram(ABC):
+    """One vertex-centric analytic in push form.
+
+    Subclasses define initialisation and the relax function; the
+    engine owns the loop, the scatter, and convergence detection.
+    """
+
+    #: human-readable analytic name (``"sssp"`` etc.).
+    name: str = "program"
+    #: reduction folding candidates into destination values.
+    reduce: ReduceOp = ReduceOp.MIN
+    #: whether :meth:`relax` consumes edge weights.
+    needs_weights: bool = False
+
+    @abstractmethod
+    def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        """Per-physical-node value array before iteration 0."""
+
+    @abstractmethod
+    def initial_frontier(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
+        """Physical node ids active in iteration 0."""
+
+    @abstractmethod
+    def relax(
+        self, src_values: np.ndarray, edge_weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Candidate values offered along each edge (vectorised).
+
+        ``src_values`` holds the *source* node's current value per
+        edge; ``edge_weights`` parallels it (``None`` on unweighted
+        graphs).  Must not mutate its inputs.
+        """
+
+    def filter_pushes(
+        self, candidates: np.ndarray, src_values: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Optional mask of candidates worth scattering.
+
+        Default: all of them.  Programs can prune provably useless
+        pushes (e.g. from unreached sources) to mirror what the CUDA
+        kernels' branch would skip.
+        """
+        return None

@@ -1,0 +1,197 @@
+"""The push-based BSP engine (§2.1, Algorithm 2).
+
+One iteration: schedule the active nodes into threads, gather each
+thread's edges, relax along every edge, scatter-reduce candidates into
+destination values, and detect changes.  With the worklist
+optimization (§5) only changed nodes are active next iteration; with
+synchronization relaxation the launch is processed in sequential
+blocks so later blocks see values computed earlier in the same
+iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.engine.frontier import DENSE_THRESHOLD, Frontier
+from repro.engine.program import PushProgram
+from repro.engine.schedule import Scheduler, ThreadBatch
+from repro.gpu.metrics import RunMetrics
+from repro.gpu.simulator import GPUSimulator
+from repro.graph.csr import NODE_DTYPE
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Knobs of the paper's lightweight GPU engine (§5).
+
+    Attributes
+    ----------
+    worklist:
+        Track active nodes and only process those each iteration.
+        Disabled, every node is processed every iteration (the
+        "Without Worklist" columns of Table 8).
+    sync_relaxation_blocks:
+        1 = strict BSP.  ``b > 1`` processes each launch in ``b``
+        sequential blocks; later blocks observe values written by
+        earlier ones in the same iteration ("synchronization
+        relaxation", §5), which can only speed up convergence for
+        monotone programs.
+    max_iterations:
+        Safety bound; exceeding it without convergence raises
+        :class:`~repro.errors.EngineError` when ``require_convergence``.
+    dense_threshold:
+        Frontier occupancy above which the worklist switches to the
+        dense (bitmap) representation — the Ligra heuristic; see
+        :mod:`repro.engine.frontier`.
+    """
+
+    worklist: bool = True
+    sync_relaxation_blocks: int = 1
+    max_iterations: int = 100_000
+    require_convergence: bool = True
+    dense_threshold: float = DENSE_THRESHOLD
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run."""
+
+    values: np.ndarray
+    num_iterations: int
+    converged: bool
+    metrics: Optional[RunMetrics] = None
+    #: total edges relaxed over the run (useful work measure).
+    edges_processed: int = 0
+    #: worklist iterations whose frontier ran in dense (bitmap) form.
+    dense_iterations: int = 0
+
+
+def run_push(
+    scheduler: Scheduler,
+    program: PushProgram,
+    source: Optional[int] = None,
+    *,
+    options: EngineOptions = EngineOptions(),
+    simulator: Optional[GPUSimulator] = None,
+) -> EngineResult:
+    """Run a push program to convergence.
+
+    Parameters
+    ----------
+    scheduler:
+        Decides the thread mapping; its graph supplies edges/weights.
+        For virtual transformations pass a
+        :class:`~repro.engine.schedule.VirtualScheduler` — values stay
+        per *physical* node, which is the implicit value
+        synchronization of §4.1.
+    program:
+        The analytic (relax + reduction + initialisation).
+    source:
+        Source node for single-source analytics; ``None`` for
+        all-nodes initialisation (CC).
+    simulator:
+        Optional :class:`~repro.gpu.simulator.GPUSimulator`; when
+        given, each iteration's thread batch is costed and
+        ``result.metrics`` carries the run totals.
+    """
+    graph = scheduler.graph
+    n = graph.num_nodes
+    if options.sync_relaxation_blocks < 1:
+        raise EngineError("sync_relaxation_blocks must be >= 1")
+    if program.needs_weights and graph.weights is None:
+        raise EngineError(f"program {program.name!r} needs edge weights")
+
+    values = program.initial_values(n, source)
+    frontier = Frontier.from_ids(
+        n, program.initial_frontier(n, source),
+        dense_threshold=options.dense_threshold,
+    )
+    weights = graph.weights
+    targets = graph.targets
+
+    converged = False
+    iterations = 0
+    edges_processed = 0
+    dense_iterations = 0
+
+    for _ in range(options.max_iterations):
+        active = frontier.ids() if options.worklist else scheduler.all_nodes()
+        if len(active) == 0:
+            converged = True
+            break
+        if options.worklist and frontier.is_dense:
+            dense_iterations += 1
+        batch = scheduler.batch(active)
+        if simulator is not None:
+            simulator.record_iteration(batch.trace())
+        iterations += 1
+        edges_processed += batch.total_edges
+
+        before = values.copy()
+        if options.sync_relaxation_blocks == 1:
+            _apply_batch(batch, program, values, before, targets, weights)
+        else:
+            bounds = np.linspace(
+                0, batch.num_threads, options.sync_relaxation_blocks + 1
+            ).astype(np.int64)
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                if hi > lo:
+                    # later blocks read values already updated: relaxation
+                    _apply_batch(
+                        batch.slice(int(lo), int(hi)),
+                        program, values, values, targets, weights,
+                    )
+
+        changed_mask = values != before
+        if not changed_mask.any():
+            converged = True
+            break
+        frontier = Frontier.from_mask(
+            n, changed_mask, dense_threshold=options.dense_threshold
+        )
+
+    if not converged and options.require_convergence:
+        raise EngineError(
+            f"{program.name} did not converge within {options.max_iterations} iterations"
+        )
+    return EngineResult(
+        values=values,
+        num_iterations=iterations,
+        converged=converged,
+        metrics=simulator.finish() if simulator is not None else None,
+        edges_processed=edges_processed,
+        dense_iterations=dense_iterations,
+    )
+
+
+def _apply_batch(
+    batch: ThreadBatch,
+    program: PushProgram,
+    values: np.ndarray,
+    read_values: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray],
+) -> None:
+    """Relax one batch's edges and scatter-reduce into ``values``.
+
+    ``read_values`` is the array source values are read from: the
+    iteration-start snapshot under strict BSP, or ``values`` itself
+    under synchronization relaxation.
+    """
+    eidx = batch.edge_indices()
+    if len(eidx) == 0:
+        return
+    src_vals = read_values[batch.sources_per_edge()]
+    w = weights[eidx] if weights is not None else None
+    candidates = program.relax(src_vals, w)
+    dst = targets[eidx]
+    mask = program.filter_pushes(candidates, src_vals)
+    if mask is not None:
+        dst = dst[mask]
+        candidates = candidates[mask]
+    program.reduce.scatter(values, dst, candidates)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Tigr reproduction.
+
+All library-raised exceptions derive from :class:`TigrError` so callers
+can catch the whole family with a single ``except`` clause while still
+being able to distinguish graph-construction problems from
+transformation problems or simulated out-of-memory conditions.
+"""
+
+from __future__ import annotations
+
+
+class TigrError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(TigrError):
+    """A graph is malformed or an operation received an invalid graph.
+
+    Raised for out-of-range endpoints, negative node counts,
+    non-monotone CSR offsets, mismatched weight arrays, and similar
+    structural problems.
+    """
+
+
+class TransformError(TigrError):
+    """A graph transformation was mis-parameterised or failed.
+
+    The most common cause is an invalid degree bound (``K < 1``).
+    """
+
+
+class EngineError(TigrError):
+    """A vertex-centric engine was configured inconsistently.
+
+    Examples: running a pull-based program on a push engine, requesting
+    an unknown scheduling strategy, or iterating past ``max_iterations``
+    without convergence when the caller demanded convergence.
+    """
+
+
+class DeviceOutOfMemoryError(TigrError):
+    """The simulated GPU cannot fit a method's working set.
+
+    Mirrors the ``OOM`` entries of Table 4 in the paper: raised when a
+    method's modelled memory footprint exceeds
+    :attr:`repro.gpu.GPUConfig.device_memory_bytes`.
+    """
+
+    def __init__(self, required_bytes: int, available_bytes: int, what: str = "") -> None:
+        self.required_bytes = int(required_bytes)
+        self.available_bytes = int(available_bytes)
+        self.what = what
+        detail = f" for {what}" if what else ""
+        super().__init__(
+            f"simulated device OOM{detail}: requires {required_bytes:,} bytes, "
+            f"device has {available_bytes:,} bytes"
+        )
+
+
+class DatasetError(TigrError):
+    """A named dataset stand-in does not exist or failed to generate."""

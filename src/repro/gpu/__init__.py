@@ -1,0 +1,44 @@
+"""Deterministic GPU SIMD cost model.
+
+The paper's measurements come from CUDA kernels on an NVIDIA Quadro
+P4000.  This package replaces that hardware with a first-principles
+warp-level model of the quantities the paper's analysis is built on:
+
+* **SIMD lock-step** (§2.2, Figure 3): a warp of 32 lanes advances at
+  the pace of its slowest lane, so a warp's step count is the *max*
+  per-lane work and its efficiency is useful-lane-steps over
+  32 × steps — exactly the warp-efficiency columns of Table 8.
+* **SM occupancy**: warps are issued across a fixed number of warp
+  slots; the kernel's makespan is the larger of the critical (longest)
+  warp and total work divided by parallelism — this is what makes a
+  single 698 K-degree hub node dominate an entire kernel.
+* **Memory coalescing** (§4.4): per inner step, a warp's lanes touch
+  edge-array addresses whose spacing decides how many 128-byte
+  transactions the access costs.  The edge-array-coalescing layout of
+  Figure 12 makes sibling lanes adjacent, which is the entire point of
+  Tigr-V+.
+
+The model is consumed through :class:`~repro.gpu.simulator.GPUSimulator`,
+which the engines feed one :class:`~repro.gpu.warp.WorkTrace` per
+iteration.
+"""
+
+from repro.gpu.config import GPUConfig, KernelProfile
+from repro.gpu.metrics import IterationMetrics, RunMetrics
+from repro.gpu.profile import bottleneck_report, compare_runs, iteration_rows, profile_text
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.warp import WorkTrace, warp_statistics
+
+__all__ = [
+    "GPUConfig",
+    "KernelProfile",
+    "GPUSimulator",
+    "WorkTrace",
+    "warp_statistics",
+    "IterationMetrics",
+    "RunMetrics",
+    "iteration_rows",
+    "profile_text",
+    "compare_runs",
+    "bottleneck_report",
+]

@@ -1,0 +1,107 @@
+"""GPU hardware description and per-method kernel cost profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """The simulated device — defaults model the paper's Quadro P4000.
+
+    The figures that matter to the model are the warp width, the
+    number of concurrent warp slots (cores / warp size), the clock,
+    the memory transaction granularity, and the device memory budget
+    used for Table 4's OOM entries.
+
+    Two defaults are rescaled to match the ~1000× dataset scale-down
+    (see DESIGN.md §2):
+
+    * ``device_memory_bytes`` defaults to 20 MB — the paper's 8 GB
+      scaled down and then roughly doubled because this library stores
+      8-byte words where the CUDA code uses 4-byte ones;
+    * ``cores`` defaults to 896 (half the physical P4000's 1792) so
+      the workload-to-parallelism ratio stays in the paper's regime —
+      at full parallelism over 1000×-smaller graphs, every kernel
+      would be dominated by its single largest warp and the method
+      ratios would be exaggerated.
+    """
+
+    warp_size: int = 32
+    num_sm: int = 14
+    cores: int = 896
+    clock_ghz: float = 1.2
+    #: DRAM transaction granularity (bytes) — coalescing quantum.
+    transaction_bytes: int = 128
+    #: bytes of one edge record as laid out in device memory.
+    word_bytes: int = 8
+    #: simulated device memory for footprint checks (Table 4 OOM).
+    device_memory_bytes: int = 20 * 1024 * 1024
+    #: fixed cost of one kernel launch, in cycles.  A real launch is
+    #: ~5 us (6000 cycles); it is scaled down 10x here to keep the
+    #: overhead:work ratio on the ~1000x-smaller stand-in graphs
+    #: comparable to the paper's (otherwise every method's time would
+    #: be launch-dominated and the ratios would compress).
+    kernel_launch_cycles: int = 600
+
+    @property
+    def warp_slots(self) -> int:
+        """Concurrent warp capacity of the whole device."""
+        return max(1, self.cores // self.warp_size)
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert device cycles to milliseconds at the device clock."""
+        return cycles / (self.clock_ghz * 1e9) * 1e3
+
+    def with_memory(self, device_memory_bytes: int) -> "GPUConfig":
+        """Copy of this config with a different memory budget."""
+        return replace(self, device_memory_bytes=device_memory_bytes)
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-method kernel cost coefficients.
+
+    Different frameworks execute the same logical edge work with
+    different instruction counts, kernel counts and value-array access
+    patterns; the baseline models in :mod:`repro.baselines` each carry
+    one of these.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    cycles_per_step:
+        Issue cycles per warp SIMD step (one edge per lane): covers
+        the relax computation and comparison.
+    cycles_per_thread:
+        Per-thread setup (read ids, load own value, bounds checks) —
+        charged as ``ceil(threads_in_warp / warp)`` extra steps' worth.
+    instructions_per_edge / instructions_per_thread:
+        Active-lane instruction counting (Table 8's ``#instr.``).
+    cycles_per_transaction:
+        Amortised DRAM throughput cost of one 128-byte transaction
+        (latency is mostly hidden by warp switching; this is the
+        bandwidth term).
+    value_access_factor:
+        Memory transactions per processed edge spent on the *value*
+        array (random gather of the destination value plus the atomic
+        update, discounted by L2 hits).  Frameworks with privatised /
+        coalesced value access (CuSha's shards) have a smaller factor.
+    launches_per_iteration:
+        Kernels launched per BSP iteration (Gunrock's advance+filter
+        pipelines launch several).
+    """
+
+    name: str = "default"
+    cycles_per_step: float = 6.0
+    cycles_per_thread: float = 4.0
+    instructions_per_edge: float = 10.0
+    instructions_per_thread: float = 8.0
+    cycles_per_transaction: float = 3.0
+    value_access_factor: float = 1.0
+    launches_per_iteration: int = 1
+
+    def scaled(self, **overrides: float) -> "KernelProfile":
+        """Copy with some coefficients replaced."""
+        return replace(self, **overrides)

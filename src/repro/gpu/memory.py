@@ -1,0 +1,48 @@
+"""DRAM transaction model: how many 128-byte transactions a warp costs.
+
+Two access streams matter in vertex-centric kernels:
+
+* **edge-array stream** — each SIMD step, the warp's active lanes read
+  one edge record each.  If consecutive lanes' records are adjacent
+  (gap = ``word_bytes``), a whole warp step fits in a couple of
+  transactions; if records are a transaction apart or more, every lane
+  pays its own.  The per-warp effective gap comes from
+  :func:`repro.gpu.warp.warp_statistics`.
+* **value-array stream** — destination values are gathered at random
+  node indices and updated atomically; this stream is uncoalesced for
+  every method (``value_access_factor`` transactions per edge), except
+  frameworks that privatise it (CuSha shards).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.config import GPUConfig, KernelProfile
+from repro.gpu.warp import WarpStats
+
+
+def edge_transactions(stats: WarpStats, config: GPUConfig) -> np.ndarray:
+    """Per-warp edge-array transactions for one kernel.
+
+    For equally spaced active lanes with gap ``g`` bytes, one step of
+    ``L`` lanes spans ``L * g`` bytes ⇒ ``ceil(L * g / 128)``
+    transactions.  Summed over a warp's steps that is
+    ``edges * g / 128`` plus one transaction floor per step (every
+    step costs at least one transaction while any lane is active).
+    """
+    per_edge = stats.gap_bytes / config.transaction_bytes
+    return np.maximum(stats.steps, stats.edges * per_edge)
+
+
+def value_transactions(stats: WarpStats, profile: KernelProfile) -> np.ndarray:
+    """Per-warp value-array transactions (gather + atomic update)."""
+    return stats.edges * profile.value_access_factor
+
+
+def total_memory_cycles(
+    stats: WarpStats, config: GPUConfig, profile: KernelProfile
+) -> np.ndarray:
+    """Per-warp cycles spent on memory traffic."""
+    transactions = edge_transactions(stats, config) + value_transactions(stats, profile)
+    return transactions * profile.cycles_per_transaction

@@ -1,0 +1,94 @@
+"""Kernel metrics: per-iteration and whole-run aggregates.
+
+These mirror the columns of Table 8: iteration count, time per
+iteration, total instructions, and warp efficiency, plus the memory
+transaction counts behind the coalescing analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class IterationMetrics:
+    """Cost of one simulated BSP iteration (one or more kernels)."""
+
+    iteration: int
+    num_threads: int
+    edges_processed: int
+    simd_steps: int
+    cycles: float
+    time_ms: float
+    instructions: float
+    edge_transactions: float
+    value_transactions: float
+    warp_efficiency: float
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate over a whole algorithm run."""
+
+    iterations: List[IterationMetrics] = field(default_factory=list)
+
+    def add(self, metrics: IterationMetrics) -> None:
+        self.iterations.append(metrics)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_time_ms(self) -> float:
+        return sum(it.time_ms for it in self.iterations)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(it.cycles for it in self.iterations)
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(it.instructions for it in self.iterations)
+
+    @property
+    def total_edges_processed(self) -> int:
+        return sum(it.edges_processed for it in self.iterations)
+
+    @property
+    def total_transactions(self) -> float:
+        return sum(it.edge_transactions + it.value_transactions for it in self.iterations)
+
+    @property
+    def mean_time_per_iteration_ms(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return self.total_time_ms / len(self.iterations)
+
+    @property
+    def warp_efficiency(self) -> float:
+        """Edge-work-weighted mean warp efficiency over the run.
+
+        Weighting by SIMD steps (the denominator of the per-iteration
+        metric) makes this equal to total useful lane-steps over total
+        occupied lane-steps, i.e. the run-level Table 8 number.
+        """
+        total_steps = sum(it.simd_steps for it in self.iterations)
+        if total_steps == 0:
+            return 1.0
+        useful = sum(it.warp_efficiency * it.simd_steps for it in self.iterations)
+        return useful / total_steps
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table formatting."""
+        return {
+            "iterations": self.num_iterations,
+            "time_ms": self.total_time_ms,
+            "time_per_iteration_ms": self.mean_time_per_iteration_ms,
+            "instructions": self.total_instructions,
+            "warp_efficiency": self.warp_efficiency,
+            "edges_processed": float(self.total_edges_processed),
+            "transactions": self.total_transactions,
+        }

@@ -1,0 +1,92 @@
+"""Run profiling: Table 8-style breakdowns for any simulated run.
+
+§6.5 of the paper drills into one SSSP run with per-iteration counts
+and efficiency figures.  This module generalises that: given the
+:class:`~repro.gpu.metrics.RunMetrics` any engine run produces, build
+the per-iteration table, and given several runs, the side-by-side
+comparison — the tooling a performance engineer would actually use
+with this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gpu.metrics import RunMetrics
+
+
+def iteration_rows(metrics: RunMetrics) -> List[Dict[str, float]]:
+    """Per-iteration profile rows (Table 8's hidden time axis)."""
+    rows = []
+    for it in metrics.iterations:
+        rows.append({
+            "iteration": it.iteration,
+            "threads": it.num_threads,
+            "edges": it.edges_processed,
+            "simd_steps": it.simd_steps,
+            "time_ms": it.time_ms,
+            "warp_eff": it.warp_efficiency,
+            "edge_txn": it.edge_transactions,
+            "value_txn": it.value_transactions,
+        })
+    return rows
+
+
+def profile_text(metrics: RunMetrics, *, title: str = "run profile") -> str:
+    """Formatted per-iteration profile plus run totals."""
+    from repro.bench.report import format_table
+
+    text = format_table(iteration_rows(metrics), title=title)
+    summary = metrics.summary()
+    lines = [text, ""]
+    lines.append(
+        f"totals: {summary['iterations']:.0f} iterations, "
+        f"{summary['time_ms']:.4f} ms, "
+        f"{summary['edges_processed']:.0f} edges, "
+        f"warp efficiency {summary['warp_efficiency']:.1%}"
+    )
+    return "\n".join(lines)
+
+
+def compare_runs(named_metrics: Dict[str, RunMetrics]) -> str:
+    """Side-by-side run summaries (the Table 8 comparison shape)."""
+    from repro.bench.report import format_table
+
+    rows = []
+    for name, metrics in named_metrics.items():
+        summary = metrics.summary()
+        rows.append({
+            "run": name,
+            "iterations": int(summary["iterations"]),
+            "time_ms": summary["time_ms"],
+            "time_per_iter_ms": summary["time_per_iteration_ms"],
+            "instructions": summary["instructions"],
+            "warp_eff": summary["warp_efficiency"],
+            "edges": int(summary["edges_processed"]),
+        })
+    return format_table(rows, title="run comparison")
+
+
+def bottleneck_report(metrics: RunMetrics) -> Dict[str, float]:
+    """Where the simulated time went, as fractions.
+
+    Splits each iteration's cost into compute (SIMD issue) vs memory
+    (transactions) proportions using the recorded transaction counts —
+    the first question after "why is this slow?".
+    """
+    total_edge_txn = sum(it.edge_transactions for it in metrics.iterations)
+    total_value_txn = sum(it.value_transactions for it in metrics.iterations)
+    total_steps = sum(it.simd_steps for it in metrics.iterations)
+    txn = total_edge_txn + total_value_txn
+    # cycles_per_step ~6 vs cycles_per_transaction ~3 (defaults); report
+    # raw quantities plus an indicative split at default coefficients.
+    compute_cycles = 6.0 * total_steps
+    memory_cycles = 3.0 * txn
+    denom = max(compute_cycles + memory_cycles, 1e-12)
+    return {
+        "simd_steps": float(total_steps),
+        "edge_transactions": float(total_edge_txn),
+        "value_transactions": float(total_value_txn),
+        "compute_fraction": compute_cycles / denom,
+        "memory_fraction": memory_cycles / denom,
+    }

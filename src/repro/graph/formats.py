@@ -1,0 +1,201 @@
+"""Interop formats: Matrix Market (.mtx) and METIS.
+
+The paper's datasets come from SNAP (edge lists, handled by
+:mod:`repro.graph.io`) and NetworkRepository, which distributes
+Matrix Market files; METIS is the lingua franca of the partitioning
+world (§7.2 cites it).  Supporting both makes the library usable on
+the actual public corpora.
+
+Only the coordinate (sparse) Matrix Market variant is implemented —
+``matrix coordinate real|pattern|integer general|symmetric`` — which
+covers every graph file in the wild repositories.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph, NODE_DTYPE, WEIGHT_DTYPE
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+# ---------------------------------------------------------------------------
+# Matrix Market
+# ---------------------------------------------------------------------------
+def load_mtx(path: PathLike) -> CSRGraph:
+    """Read a Matrix Market coordinate file as a directed graph.
+
+    Rows become sources, columns destinations (1-indexed in the file,
+    0-indexed in the graph).  ``pattern`` matrices load unweighted;
+    ``real``/``integer`` load weighted.  ``symmetric`` files expand to
+    both edge directions (diagonal entries once).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphError(f"{path}: missing MatrixMarket header")
+        fields = header.strip().split()
+        if len(fields) < 5 or fields[1] != "matrix" or fields[2] != "coordinate":
+            raise GraphError(f"{path}: only 'matrix coordinate' files are supported")
+        value_type, symmetry = fields[3], fields[4]
+        if value_type not in ("real", "integer", "pattern"):
+            raise GraphError(f"{path}: unsupported value type {value_type!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            rows, cols, entries = (int(x) for x in line.split())
+        except ValueError as exc:
+            raise GraphError(f"{path}: bad size line {line!r}") from exc
+
+        num_nodes = max(rows, cols)
+        weighted = value_type != "pattern"
+        src, dst, wgt = [], [], []
+        read = 0
+        for raw in handle:
+            text = raw.strip()
+            if not text or text.startswith("%"):
+                continue
+            parts = text.split()
+            try:
+                i, j = int(parts[0]) - 1, int(parts[1]) - 1
+                w = float(parts[2]) if weighted and len(parts) > 2 else 1.0
+            except (ValueError, IndexError) as exc:
+                raise GraphError(f"{path}: bad entry line {text!r}") from exc
+            if not (0 <= i < num_nodes and 0 <= j < num_nodes):
+                raise GraphError(f"{path}: entry ({i + 1}, {j + 1}) out of bounds")
+            read += 1
+            src.append(i)
+            dst.append(j)
+            wgt.append(w)
+            if symmetry == "symmetric" and i != j:
+                src.append(j)
+                dst.append(i)
+                wgt.append(w)
+        if read < entries:
+            raise GraphError(
+                f"{path}: size line declares {entries} entries, found {read}"
+            )
+
+    return from_arrays(
+        np.asarray(src, dtype=NODE_DTYPE),
+        np.asarray(dst, dtype=NODE_DTYPE),
+        np.asarray(wgt, dtype=WEIGHT_DTYPE) if weighted else None,
+        num_nodes=num_nodes,
+    )
+
+
+def save_mtx(graph: CSRGraph, path: PathLike, *, comment: Optional[str] = None) -> None:
+    """Write a graph as a Matrix Market coordinate file (general)."""
+    value_type = "real" if graph.is_weighted else "pattern"
+    src, dst, wgt = graph.to_coo()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate {value_type} general\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{graph.num_nodes} {graph.num_nodes} {graph.num_edges}\n")
+        if graph.is_weighted:
+            for s, d, w in zip(src, dst, wgt):
+                handle.write(f"{s + 1} {d + 1} {w:.17g}\n")
+        else:
+            for s, d in zip(src, dst):
+                handle.write(f"{s + 1} {d + 1}\n")
+
+
+# ---------------------------------------------------------------------------
+# METIS
+# ---------------------------------------------------------------------------
+def load_metis(path: PathLike) -> CSRGraph:
+    """Read a METIS graph file (undirected adjacency lists).
+
+    Header: ``<num_nodes> <num_edges> [fmt]`` with fmt 0 (plain) or 1
+    (edge weights: each adjacency entry is ``neighbor weight``).
+    METIS files are 1-indexed and list each undirected edge in both
+    endpoints' lines, which maps directly onto this library's
+    both-directions convention.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        # blank lines are meaningful (isolated nodes); only comments
+        # and a possible trailing newline are skipped.
+        lines = [
+            line.strip() for line in handle
+            if not line.lstrip().startswith("%")
+        ]
+    if not lines or not lines[0]:
+        raise GraphError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphError(f"{path}: bad METIS header {lines[0]!r}")
+    num_nodes = int(header[0])
+    # tolerate surplus trailing blank lines, but a trailing blank that
+    # IS node n's (empty) adjacency line must survive
+    while len(lines) - 1 > num_nodes and not lines[-1]:
+        lines.pop()
+    fmt = header[2] if len(header) > 2 else "0"
+    weighted = fmt.endswith("1")
+    if fmt not in ("0", "1", "001"):
+        raise GraphError(f"{path}: unsupported METIS fmt {fmt!r}")
+    if len(lines) - 1 != num_nodes:
+        raise GraphError(
+            f"{path}: header declares {num_nodes} nodes, file has {len(lines) - 1} lines"
+        )
+
+    src, dst, wgt = [], [], []
+    for node, line in enumerate(lines[1:]):
+        parts = line.split()
+        step = 2 if weighted else 1
+        if weighted and len(parts) % 2:
+            raise GraphError(f"{path}: node {node + 1} has a dangling weight")
+        for k in range(0, len(parts), step):
+            nbr = int(parts[k]) - 1
+            if not 0 <= nbr < num_nodes:
+                raise GraphError(f"{path}: neighbor {nbr + 1} out of range")
+            src.append(node)
+            dst.append(nbr)
+            wgt.append(float(parts[k + 1]) if weighted else 1.0)
+
+    return from_arrays(
+        np.asarray(src, dtype=NODE_DTYPE),
+        np.asarray(dst, dtype=NODE_DTYPE),
+        np.asarray(wgt, dtype=WEIGHT_DTYPE) if weighted else None,
+        num_nodes=num_nodes,
+    )
+
+
+def save_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write a graph in METIS format.
+
+    The graph must be symmetric (METIS is undirected); use
+    :func:`repro.graph.builder.to_undirected` first otherwise.
+    Self-loops are dropped (METIS forbids them).
+    """
+    from repro.graph.validate import is_symmetric
+
+    if not is_symmetric(graph):
+        raise GraphError("METIS files are undirected; symmetrise the graph first")
+    weighted = graph.is_weighted
+    undirected_edges = graph.num_edges // 2
+    with open(path, "w", encoding="utf-8") as handle:
+        fmt = " 1" if weighted else ""
+        handle.write(f"{graph.num_nodes} {undirected_edges}{fmt}\n")
+        for node in range(graph.num_nodes):
+            nbrs = graph.neighbors(node)
+            weights = graph.edge_weights_of(node)
+            parts = []
+            for idx, nbr in enumerate(nbrs):
+                if int(nbr) == node:
+                    continue  # METIS forbids self-loops
+                parts.append(str(int(nbr) + 1))
+                if weighted:
+                    parts.append(f"{weights[idx]:.17g}")
+            handle.write(" ".join(parts) + "\n")

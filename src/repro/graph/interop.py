@@ -1,0 +1,122 @@
+"""Bridges to the scientific-Python ecosystem: NetworkX and SciPy.
+
+Two jobs:
+
+* **interop** — move graphs between this library's CSR and
+  ``networkx.DiGraph`` / ``scipy.sparse`` matrices, so adopters can
+  mix Tigr processing with the tooling they already use;
+* **independent validation** — the test suite uses these bridges to
+  check the engines against *third-party* implementations
+  (``networkx`` analytics, ``scipy.sparse.csgraph``), not just this
+  repository's own reference oracles.
+
+Both libraries are optional at runtime: the imports live inside the
+functions, so the core library keeps its numpy-only dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph, NODE_DTYPE, WEIGHT_DTYPE
+
+
+# ---------------------------------------------------------------------------
+# NetworkX
+# ---------------------------------------------------------------------------
+def to_networkx(graph: CSRGraph):
+    """Convert to a ``networkx.DiGraph`` (weights as ``weight`` attrs).
+
+    Parallel edges collapse (NetworkX DiGraph is simple); the smallest
+    weight survives, matching
+    :func:`repro.graph.builder.deduplicate_edges`' path-analytics
+    convention.
+    """
+    import networkx as nx
+
+    out = nx.DiGraph()
+    out.add_nodes_from(range(graph.num_nodes))
+    src, dst, weights = graph.to_coo()
+    if weights is None:
+        out.add_edges_from(zip(src.tolist(), dst.tolist()))
+    else:
+        for s, d, w in zip(src.tolist(), dst.tolist(), weights.tolist()):
+            if out.has_edge(s, d):
+                out[s][d]["weight"] = min(out[s][d]["weight"], w)
+            else:
+                out.add_edge(s, d, weight=w)
+    return out
+
+
+def from_networkx(nx_graph, *, weight_attr: Optional[str] = "weight") -> CSRGraph:
+    """Convert a NetworkX (Di)Graph with integer-labelled nodes.
+
+    Undirected inputs expand to both edge directions.  Node labels
+    must be integers ``0..n-1`` (relabel with
+    ``networkx.convert_node_labels_to_integers`` first otherwise).
+    ``weight_attr=None`` builds an unweighted graph.
+    """
+    import networkx as nx
+
+    n = nx_graph.number_of_nodes()
+    labels = sorted(nx_graph.nodes())
+    if labels and (labels[0] != 0 or labels[-1] != n - 1):
+        raise GraphError(
+            "node labels must be 0..n-1; use "
+            "networkx.convert_node_labels_to_integers first"
+        )
+    directed = nx_graph.is_directed()
+    src, dst, wgt = [], [], []
+    weighted = weight_attr is not None
+    for u, v, data in nx_graph.edges(data=True):
+        w = float(data.get(weight_attr, 1.0)) if weighted else 1.0
+        src.append(u)
+        dst.append(v)
+        wgt.append(w)
+        if not directed and u != v:
+            src.append(v)
+            dst.append(u)
+            wgt.append(w)
+    return from_arrays(
+        np.asarray(src, dtype=NODE_DTYPE),
+        np.asarray(dst, dtype=NODE_DTYPE),
+        np.asarray(wgt, dtype=WEIGHT_DTYPE) if weighted else None,
+        num_nodes=n,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SciPy sparse
+# ---------------------------------------------------------------------------
+def to_scipy_csr(graph: CSRGraph):
+    """The adjacency matrix as ``scipy.sparse.csr_matrix``.
+
+    Unweighted edges store 1.0.  The CSR arrays are shared where dtype
+    permits (zero-copy offsets/indices views onto the same memory).
+    """
+    from scipy.sparse import csr_matrix
+
+    data = graph.weights if graph.weights is not None else np.ones(graph.num_edges)
+    return csr_matrix(
+        (data, graph.targets, graph.offsets),
+        shape=(graph.num_nodes, graph.num_nodes),
+    )
+
+
+def from_scipy(matrix, *, weighted: bool = True) -> CSRGraph:
+    """Build a graph from any scipy sparse matrix (square)."""
+    from scipy.sparse import coo_matrix
+
+    coo = coo_matrix(matrix)
+    if coo.shape[0] != coo.shape[1]:
+        raise GraphError(f"adjacency matrix must be square, got {coo.shape}")
+    return from_arrays(
+        coo.row.astype(NODE_DTYPE),
+        coo.col.astype(NODE_DTYPE),
+        coo.data.astype(WEIGHT_DTYPE) if weighted else None,
+        num_nodes=coo.shape[0],
+    )

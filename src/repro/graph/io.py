@@ -1,0 +1,86 @@
+"""Graph I/O: plain edge-list text files and numpy ``.npz`` archives.
+
+The text format matches the SNAP convention used by the paper's
+datasets: one edge per line, whitespace-separated endpoints, optional
+third weight column, ``#``-prefixed comment lines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph, NODE_DTYPE, WEIGHT_DTYPE
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def load_edge_list(path: PathLike, *, num_nodes: Optional[int] = None) -> CSRGraph:
+    """Read a SNAP-style edge-list text file.
+
+    Lines beginning with ``#`` or ``%`` are comments.  Each data line
+    holds ``src dst`` or ``src dst weight``.  Mixing the two arities in
+    one file is an error.
+    """
+    sources, targets, weights = [], [], []
+    arity = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(f"{path}:{lineno}: expected 2 or 3 columns, got {len(parts)}")
+            if arity is None:
+                arity = len(parts)
+            elif len(parts) != arity:
+                raise GraphError(f"{path}:{lineno}: inconsistent column count")
+            try:
+                sources.append(int(parts[0]))
+                targets.append(int(parts[1]))
+                if arity == 3:
+                    weights.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: {exc}") from exc
+    src = np.asarray(sources, dtype=NODE_DTYPE)
+    dst = np.asarray(targets, dtype=NODE_DTYPE)
+    w = np.asarray(weights, dtype=WEIGHT_DTYPE) if arity == 3 else None
+    return from_arrays(src, dst, w, num_nodes=num_nodes)
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike, *, header: Optional[str] = None) -> None:
+    """Write a graph as a SNAP-style edge-list text file."""
+    src, dst, w = graph.to_coo()
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        if w is None:
+            for s, d in zip(src, dst):
+                handle.write(f"{s} {d}\n")
+        else:
+            for s, d, weight in zip(src, dst, w):
+                handle.write(f"{s} {d} {weight:g}\n")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Serialise a graph to a compressed numpy archive."""
+    payload = {"offsets": graph.offsets, "targets": graph.targets}
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_npz`."""
+    with np.load(path) as archive:
+        offsets = archive["offsets"]
+        targets = archive["targets"]
+        weights = archive["weights"] if "weights" in archive.files else None
+        return CSRGraph(offsets, targets, weights)

@@ -1,0 +1,178 @@
+"""Degree and irregularity statistics.
+
+Tigr's whole premise is that the *shape* of the degree distribution —
+not the graph's size — determines GPU efficiency.  This module
+quantifies that shape: coefficient of variation and Gini coefficient
+of the outdegrees, power-law tail fractions (the ">90% of nodes below
+degree 20" profile of §2.3), and a BFS-based diameter estimate used to
+populate Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.indexing import ranges_to_indices as _ranges_to_indices_impl
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of a graph's outdegree distribution."""
+
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    std_degree: float
+    #: std / mean — 0 for perfectly regular graphs, large for power laws.
+    coefficient_of_variation: float
+    #: Gini coefficient of the degree distribution in [0, 1).
+    gini: float
+    #: fraction of nodes whose degree is < 20 (the §2.3 profile).
+    frac_degree_below_20: float
+    #: fraction of nodes whose degree is >= 1000 (the §2.3 tail).
+    frac_degree_at_least_1000: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, convenient for table formatting."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "median_degree": self.median_degree,
+            "std_degree": self.std_degree,
+            "coefficient_of_variation": self.coefficient_of_variation,
+            "gini": self.gini,
+            "frac_degree_below_20": self.frac_degree_below_20,
+            "frac_degree_at_least_1000": self.frac_degree_at_least_1000,
+        }
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample.
+
+    0 means perfect equality (regular graph); values approaching 1
+    mean a tiny fraction of nodes holds nearly all edges (extreme
+    power law).  Returns 0.0 for empty or all-zero input.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(arr)
+    if n == 0:
+        return 0.0
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    # Standard rank formula: G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float(2.0 * np.dot(ranks, arr) / (n * total) - (n + 1.0) / n)
+
+
+def degree_stats(graph: CSRGraph) -> DegreeStats:
+    """Compute :class:`DegreeStats` for a graph's outdegrees."""
+    degrees = graph.out_degrees().astype(np.float64)
+    n = graph.num_nodes
+    if n == 0:
+        return DegreeStats(0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    mean = float(degrees.mean())
+    std = float(degrees.std())
+    cv = std / mean if mean > 0 else 0.0
+    return DegreeStats(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        min_degree=int(degrees.min()),
+        max_degree=int(degrees.max()),
+        mean_degree=mean,
+        median_degree=float(np.median(degrees)),
+        std_degree=std,
+        coefficient_of_variation=cv,
+        gini=gini_coefficient(degrees),
+        frac_degree_below_20=float(np.mean(degrees < 20)),
+        frac_degree_at_least_1000=float(np.mean(degrees >= 1000)),
+    )
+
+
+def degree_histogram(graph: CSRGraph, bins: Optional[Sequence[int]] = None) -> Dict[str, int]:
+    """Histogram of outdegrees over the given bin edges.
+
+    Default bins follow the paper's §2.3 narrative:
+    ``[0, 20, 100, 1000, inf)``.
+    """
+    degrees = graph.out_degrees()
+    edges = list(bins) if bins is not None else [0, 20, 100, 1000]
+    edges = sorted(set(int(e) for e in edges))
+    result: Dict[str, int] = {}
+    for lo, hi in zip(edges, edges[1:] + [None]):
+        if hi is None:
+            label = f"[{lo}, inf)"
+            count = int(np.sum(degrees >= lo))
+        else:
+            label = f"[{lo}, {hi})"
+            count = int(np.sum((degrees >= lo) & (degrees < hi)))
+        result[label] = count
+    return result
+
+
+def bfs_eccentricity(graph: CSRGraph, source: int) -> int:
+    """Largest finite hop distance from ``source`` (BFS depth)."""
+    n = graph.num_nodes
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    offsets, targets = graph.offsets, graph.targets
+    while len(frontier):
+        # gather all neighbors of the frontier
+        starts = offsets[frontier]
+        ends = offsets[frontier + 1]
+        counts = ends - starts
+        if counts.sum() == 0:
+            break
+        idx = _ranges_to_indices(starts, counts)
+        nbrs = targets[idx]
+        fresh = np.unique(nbrs[dist[nbrs] < 0])
+        if len(fresh) == 0:
+            break
+        depth += 1
+        dist[fresh] = depth
+        frontier = fresh
+    return int(dist.max())
+
+
+def estimate_diameter(
+    graph: CSRGraph, *, num_sources: int = 8, seed: Optional[int] = None
+) -> int:
+    """Lower-bound diameter estimate via multi-source BFS sampling.
+
+    Runs BFS from ``num_sources`` pseudo-random sources (always
+    including the highest-outdegree node, which tends to sit near the
+    graph core) and returns the maximum eccentricity observed.  For the
+    small synthetic stand-ins this matches the true diameter closely
+    and is how the Table 3 ``d`` column is produced.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    sources = set(int(s) for s in rng.integers(0, n, size=min(num_sources, n)))
+    sources.add(int(np.argmax(graph.out_degrees())))
+    best = 0
+    for src in sources:
+        best = max(best, bfs_eccentricity(graph, src))
+    return best
+
+
+def _ranges_to_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Expand parallel ``(start, count)`` pairs into one index array.
+
+    Thin alias of :func:`repro.indexing.ranges_to_indices`, kept so
+    BFS internals read naturally.
+    """
+    return _ranges_to_indices_impl(starts, counts)

@@ -1,0 +1,119 @@
+"""Subgraph extraction: induced subgraphs and ego networks.
+
+Standard library plumbing for analytics pipelines — slice out the
+region a traversal touched, or a node's k-hop neighborhood, as a
+self-contained graph with an id mapping back to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph, NODE_DTYPE
+from repro.indexing import ranges_to_indices
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An induced subgraph plus its id mapping.
+
+    ``nodes[i]`` is the original id of local node ``i``; values
+    computed on :attr:`graph` are projected back with
+    :meth:`lift_values`.
+    """
+
+    graph: CSRGraph
+    nodes: np.ndarray
+
+    def local_id(self, original: int) -> int:
+        """Local id of an original node (raises if not included)."""
+        hits = np.flatnonzero(self.nodes == original)
+        if len(hits) == 0:
+            raise GraphError(f"node {original} is not in the subgraph")
+        return int(hits[0])
+
+    def lift_values(
+        self, values: np.ndarray, num_original_nodes: int, *, fill: float = np.nan
+    ) -> np.ndarray:
+        """Scatter local per-node values back to original ids."""
+        out = np.full(num_original_nodes, fill, dtype=np.float64)
+        out[self.nodes] = values
+        return out
+
+
+def induced_subgraph(graph: CSRGraph, nodes: np.ndarray) -> Subgraph:
+    """The subgraph induced by ``nodes``: kept edges have both
+    endpoints inside, relabelled to ``0..len(nodes)-1`` (sorted
+    original order)."""
+    nodes = np.unique(np.asarray(nodes, dtype=NODE_DTYPE))
+    if len(nodes) and (nodes[0] < 0 or nodes[-1] >= graph.num_nodes):
+        raise GraphError("subgraph nodes out of range")
+    local = np.full(graph.num_nodes, -1, dtype=NODE_DTYPE)
+    local[nodes] = np.arange(len(nodes), dtype=NODE_DTYPE)
+
+    src, dst, weights = graph.to_coo()
+    keep = (local[src] >= 0) & (local[dst] >= 0)
+    sub = from_arrays(
+        local[src[keep]], local[dst[keep]],
+        None if weights is None else weights[keep],
+        num_nodes=len(nodes),
+    )
+    return Subgraph(graph=sub, nodes=nodes)
+
+
+def ego_network(
+    graph: CSRGraph, center: int, radius: int = 1,
+    *, undirected: bool = False,
+) -> Subgraph:
+    """The induced subgraph within ``radius`` hops of ``center``.
+
+    With ``undirected=True`` hops may traverse edges in either
+    direction (reachability over the symmetrised graph); otherwise
+    only outgoing edges expand the ball.
+    """
+    if not 0 <= center < graph.num_nodes:
+        raise GraphError(f"center {center} out of range")
+    if radius < 0:
+        raise GraphError("radius must be non-negative")
+    frontier = np.asarray([center], dtype=NODE_DTYPE)
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[center] = True
+    reverse = graph.reverse() if undirected else None
+    for _ in range(radius):
+        nbrs = _out_neighbors(graph, frontier)
+        if undirected:
+            nbrs = np.concatenate([nbrs, _out_neighbors(reverse, frontier)])
+        fresh = np.unique(nbrs[~visited[nbrs]]) if len(nbrs) else nbrs
+        if len(fresh) == 0:
+            break
+        visited[fresh] = True
+        frontier = fresh
+    return induced_subgraph(graph, np.flatnonzero(visited))
+
+
+def traversal_subgraph(
+    graph: CSRGraph, distances: np.ndarray
+) -> Tuple[Subgraph, np.ndarray]:
+    """The region a traversal reached, plus its distance array.
+
+    ``distances`` is any engine result (``inf`` = unreached); returns
+    the induced subgraph over the reached nodes and the corresponding
+    local distance array.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.shape != (graph.num_nodes,):
+        raise GraphError("distance array shape mismatch")
+    reached = np.flatnonzero(np.isfinite(distances))
+    sub = induced_subgraph(graph, reached)
+    return sub, distances[sub.nodes]
+
+
+def _out_neighbors(graph: CSRGraph, nodes: np.ndarray) -> np.ndarray:
+    starts = graph.offsets[nodes]
+    counts = graph.offsets[nodes + 1] - starts
+    return graph.targets[ranges_to_indices(starts, counts)]

@@ -1,0 +1,102 @@
+"""Public graph-validation and hygiene-checking API.
+
+:class:`~repro.graph.csr.CSRGraph` validates structural invariants at
+construction; this module answers the *semantic* questions an
+analytics pipeline asks before trusting a graph: does it contain
+self-loops or parallel edges, are its weights usable for a given
+analytic, is it symmetric?  :func:`validation_report` bundles all of
+them for diagnostics (the CLI's ``info`` output and test fixtures use
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Semantic health summary of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    num_self_loops: int
+    num_parallel_edges: int
+    num_isolated_nodes: int
+    is_symmetric: bool
+    is_weighted: bool
+    has_negative_weights: bool
+    has_nonfinite_weights: bool
+
+    @property
+    def is_simple(self) -> bool:
+        """No self-loops, no parallel edges."""
+        return self.num_self_loops == 0 and self.num_parallel_edges == 0
+
+    def suitable_for(self, algorithm: str) -> bool:
+        """Whether the graph satisfies an analytic's preconditions.
+
+        SSSP needs non-negative finite weights; SSWP needs weights at
+        all; the unweighted analytics accept anything.
+        """
+        key = algorithm.lower()
+        if key == "sssp":
+            return self.is_weighted and not self.has_negative_weights \
+                and not self.has_nonfinite_weights
+        if key == "sswp":
+            return self.is_weighted and not self.has_nonfinite_weights
+        if key in ("bfs", "cc", "bc", "pr", "pagerank"):
+            return True
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+
+
+def count_self_loops(graph: CSRGraph) -> int:
+    """Edges whose source equals their destination."""
+    src = graph.edge_sources()
+    return int(np.sum(src == graph.targets))
+
+
+def count_parallel_edges(graph: CSRGraph) -> int:
+    """Edges in excess of one per ordered ``(src, dst)`` pair."""
+    if graph.num_edges == 0:
+        return 0
+    src = graph.edge_sources()
+    key = src * graph.num_nodes + graph.targets
+    return int(graph.num_edges - len(np.unique(key)))
+
+
+def count_isolated_nodes(graph: CSRGraph) -> int:
+    """Nodes with neither outgoing nor incoming edges."""
+    touched = np.zeros(graph.num_nodes, dtype=bool)
+    touched[graph.edge_sources()] = True
+    touched[graph.targets] = True
+    return int(np.sum(~touched))
+
+
+def is_symmetric(graph: CSRGraph) -> bool:
+    """Whether every edge has its reverse (ignoring weights)."""
+    src = graph.edge_sources()
+    forward = set(zip(src.tolist(), graph.targets.tolist()))
+    return all((d, s) in forward for s, d in forward)
+
+
+def validation_report(graph: CSRGraph) -> ValidationReport:
+    """Compute the full :class:`ValidationReport`."""
+    weights = graph.weights
+    return ValidationReport(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_self_loops=count_self_loops(graph),
+        num_parallel_edges=count_parallel_edges(graph),
+        num_isolated_nodes=count_isolated_nodes(graph),
+        is_symmetric=is_symmetric(graph),
+        is_weighted=graph.is_weighted,
+        has_negative_weights=bool(weights is not None and len(weights)
+                                  and weights.min() < 0),
+        has_nonfinite_weights=bool(weights is not None and len(weights)
+                                   and not np.isfinite(weights).all()),
+    )

@@ -1,0 +1,46 @@
+"""Multi-device and interconnect configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """The PCIe/NVLink model between devices.
+
+    Transfers are costed per superstep as
+    ``latency + bytes / bandwidth`` per device pair that exchanged
+    messages; device kernels and transfers do not overlap (the
+    conservative BSP assumption TOTEM also starts from).
+
+    Defaults model PCIe 3.0 x16 scaled the same way as the device in
+    :class:`repro.gpu.GPUConfig` — the ~1000× smaller graphs would
+    otherwise make every exchange latency-only.
+    """
+
+    #: sustained bandwidth in bytes per millisecond (12 GB/s ≈ 1.2e7 B/ms).
+    bandwidth_bytes_per_ms: float = 1.2e7
+    #: per-exchange fixed latency in milliseconds (scaled-down 10 µs).
+    latency_ms: float = 0.001
+
+    def transfer_ms(self, total_bytes: int, exchanges: int) -> float:
+        """Cost of moving ``total_bytes`` over ``exchanges`` exchanges."""
+        if exchanges <= 0:
+            return 0.0
+        return self.latency_ms * exchanges + total_bytes / self.bandwidth_bytes_per_ms
+
+
+@dataclass(frozen=True)
+class MultiGPUConfig:
+    """A homogeneous multi-device node."""
+
+    num_devices: int = 2
+    device: GPUConfig = field(default_factory=GPUConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")

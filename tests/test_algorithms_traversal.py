@@ -1,0 +1,135 @@
+"""BFS / SSSP / SSWP vs oracles, across every execution target."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, sssp, sswp
+from repro.algorithms.reference import reference_bfs, reference_sssp, reference_sswp
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.core.weights import DumbWeight
+from repro.engine.push import EngineOptions
+from repro.engine.schedule import EdgeParallelScheduler, MaxWarpScheduler
+from repro.graph.generators import path_graph, rmat
+
+
+def all_targets(graph, k=6):
+    """Every scheduling discipline an analytic can run under."""
+    return {
+        "node": graph,
+        "virtual": virtual_transform(graph, k),
+        "virtual+": virtual_transform(graph, k, coalesced=True),
+        "maxwarp": MaxWarpScheduler(graph, 4),
+        "edge": EdgeParallelScheduler(graph),
+    }
+
+
+class TestBFS:
+    def test_matches_reference_all_targets(self, powerlaw_unweighted, hub_source):
+        ref = reference_bfs(powerlaw_unweighted, hub_source)
+        for name, target in all_targets(powerlaw_unweighted).items():
+            result = bfs(target, hub_source)
+            assert np.allclose(result.values, ref, equal_nan=True), name
+
+    def test_on_udt_transformed(self, powerlaw_unweighted, hub_source):
+        ref = reference_bfs(powerlaw_unweighted, hub_source)
+        t = udt_transform(powerlaw_unweighted, 4, dumb_weight=DumbWeight.ZERO)
+        result = bfs(t.graph, hub_source)
+        assert np.allclose(t.read_values(result.values), ref, equal_nan=True)
+
+    def test_path_graph_depth(self):
+        g = path_graph(20)
+        result = bfs(g, 0)
+        assert result.values[-1] == 19
+        # 19 propagation rounds plus the final no-change round
+        assert result.num_iterations == 20
+
+    def test_iterations_bounded_by_depth_plus_one(self, powerlaw_unweighted, hub_source):
+        ref = reference_bfs(powerlaw_unweighted, hub_source)
+        depth = int(ref[np.isfinite(ref)].max())
+        result = bfs(powerlaw_unweighted, hub_source)
+        assert result.num_iterations <= depth + 1
+
+
+class TestSSSP:
+    def test_matches_reference_all_targets(self, powerlaw_graph, hub_source):
+        ref = reference_sssp(powerlaw_graph, hub_source)
+        for name, target in all_targets(powerlaw_graph).items():
+            result = sssp(target, hub_source)
+            assert np.allclose(result.values, ref), name
+
+    def test_virtual_iterations_equal_original(self, powerlaw_graph, hub_source):
+        """Theorem 2 consequence: no extra iterations for virtual."""
+        orig = sssp(powerlaw_graph, hub_source)
+        virt = sssp(virtual_transform(powerlaw_graph, 4), hub_source)
+        assert virt.num_iterations == orig.num_iterations
+
+    def test_physical_needs_more_iterations(self, powerlaw_graph, hub_source):
+        """The §6.5 effect: splitting stretches propagation paths."""
+        orig = sssp(powerlaw_graph, hub_source)
+        t = udt_transform(powerlaw_graph, 3)
+        phys = sssp(t.graph, hub_source)
+        assert phys.num_iterations > orig.num_iterations
+        assert np.allclose(t.read_values(phys.values),
+                           reference_sssp(powerlaw_graph, hub_source))
+
+    def test_zero_weight_edges_handled(self):
+        from repro.graph.builder import from_edge_list
+
+        g = from_edge_list([(0, 1, 0.0), (1, 2, 0.0), (0, 2, 5.0)])
+        assert sssp(g, 0).values.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestSSWP:
+    def test_matches_reference_all_targets(self, powerlaw_graph, hub_source):
+        ref = reference_sswp(powerlaw_graph, hub_source)
+        for name, target in all_targets(powerlaw_graph).items():
+            result = sswp(target, hub_source)
+            assert np.allclose(result.values, ref), name
+
+    def test_on_udt_with_infinity_weights(self, powerlaw_graph, hub_source):
+        ref = reference_sswp(powerlaw_graph, hub_source)
+        t = udt_transform(powerlaw_graph, 4, dumb_weight=DumbWeight.INFINITY)
+        result = sswp(t.graph, hub_source)
+        assert np.allclose(t.read_values(result.values), ref)
+
+    def test_source_width_infinite(self, powerlaw_graph, hub_source):
+        assert sswp(powerlaw_graph, hub_source).values[hub_source] == np.inf
+
+    def test_bottleneck_semantics(self):
+        from repro.graph.builder import from_edge_list
+
+        # two routes to 2: width min(9, 1)=1 vs min(3, 3)=3
+        g = from_edge_list([(0, 1, 9.0), (1, 2, 1.0), (0, 3, 3.0), (3, 2, 3.0)])
+        assert sswp(g, 0).values[2] == 3.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=60),
+    k=st.integers(min_value=1, max_value=12),
+    coalesced=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_sssp_virtual_equals_reference(seed, k, coalesced):
+    """Property (Theorem 2): virtual scheduling — any K, any layout —
+    never changes SSSP results on arbitrary weighted graphs."""
+    graph = rmat(60, 500, seed=seed, weight_range=(1, 9))
+    source = int(np.argmax(graph.out_degrees()))
+    result = sssp(virtual_transform(graph, k, coalesced=coalesced), source)
+    assert np.allclose(result.values, reference_sssp(graph, source))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=60),
+    k=st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_sssp_udt_equals_reference(seed, k):
+    """Property (Corollary 2): SSSP on UDT graphs projects correctly."""
+    graph = rmat(60, 500, seed=seed, weight_range=(1, 9))
+    source = int(np.argmax(graph.out_degrees()))
+    t = udt_transform(graph, k)
+    result = sssp(t.graph, source)
+    assert np.allclose(t.read_values(result.values), reference_sssp(graph, source))

@@ -1,0 +1,142 @@
+"""§3.3 applicability: positive proofs and negative demonstrations.
+
+The paper's applicability table is not just asserted here — the
+negative half is *demonstrated*: triangle counts and colorings really
+do change under UDT, while the six supported analytics do not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.neighborhood import (
+    chromatic_upper_bound,
+    greedy_coloring,
+    local_triangle_counts,
+    triangle_count,
+)
+from repro.core.applicability import (
+    REQUIREMENTS,
+    explain,
+    is_split_safe,
+    split_safe_analyses,
+    split_unsafe_analyses,
+)
+from repro.core.udt import udt_transform
+from repro.core.weights import DumbWeight
+from repro.graph.builder import from_edge_list, to_undirected
+from repro.graph.generators import complete_graph, rmat
+
+
+class TestClassification:
+    def test_positive_list_matches_section33(self):
+        """'including the widely used CC, SSSP, SSWP, BC, BFS, and PR'"""
+        assert set(split_safe_analyses()) == {"bc", "bfs", "cc", "pr", "sssp", "sswp"}
+
+    def test_negative_list_matches_section33(self):
+        """'such as graph coloring (GC), triangle counting (TC),
+        clique detection (CD)'"""
+        assert set(split_unsafe_analyses()) == {
+            "clique_detection", "graph_coloring", "triangle_counting"
+        }
+
+    def test_unknown_analysis(self):
+        with pytest.raises(KeyError):
+            is_split_safe("community_detection")
+
+    def test_explanations_cite_corollaries(self):
+        assert "Corollary 2" in explain("sssp")
+        assert "Corollary 1" in explain("cc")
+        assert "Corollary 3" in explain("sswp")
+        assert "Corollary 4" in explain("pr")
+        assert "UNSAFE" in explain("triangle_counting")
+        assert "neighborhoods" in explain("graph_coloring")
+
+    def test_dumb_weight_policy_consistent(self):
+        from repro.core.weights import DumbWeight as DW
+
+        assert REQUIREMENTS["sssp"].dumb_weight is DW.ZERO
+        assert REQUIREMENTS["sswp"].dumb_weight is DW.INFINITY
+        assert REQUIREMENTS["cc"].dumb_weight is DW.NONE
+
+
+class TestTriangleCounting:
+    def test_triangle_graph(self):
+        g = to_undirected(from_edge_list([(0, 1), (1, 2), (2, 0)]))
+        assert triangle_count(g) == 1
+
+    def test_complete_graph(self):
+        # K5 has C(5,3) = 10 triangles
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_triangle_free(self):
+        g = to_undirected(from_edge_list([(0, 1), (1, 2), (2, 3)]))
+        assert triangle_count(g) == 0
+
+    def test_empty(self):
+        assert triangle_count(from_edge_list([], num_nodes=4)) == 0
+
+    def test_local_counts_sum(self):
+        g = to_undirected(rmat(40, 300, seed=6))
+        locals_ = local_triangle_counts(g)
+        assert locals_.sum() == 3 * triangle_count(g)
+
+    def test_local_counts_triangle(self):
+        g = to_undirected(from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3)]))
+        assert local_triangle_counts(g).tolist() == [1, 1, 1, 0]
+
+
+class TestColoring:
+    def test_proper_coloring(self, powerlaw_symmetric):
+        colors = greedy_coloring(powerlaw_symmetric)
+        for u, v in powerlaw_symmetric.iter_edges():
+            if u != v:
+                assert colors[u] != colors[v]
+
+    def test_bipartite_uses_two_colors(self):
+        g = to_undirected(from_edge_list([(0, 2), (0, 3), (1, 2), (1, 3)]))
+        assert chromatic_upper_bound(g) == 2
+
+    def test_complete_graph_needs_n(self):
+        assert chromatic_upper_bound(complete_graph(6)) == 6
+
+    def test_empty(self):
+        assert chromatic_upper_bound(from_edge_list([], num_nodes=3)) == 1
+
+
+class TestNegativeDemonstrations:
+    """UDT really breaks the neighborhood analytics — the point of the
+    §3.3 applicability boundary."""
+
+    def _split_triangle(self):
+        # a triangle through a node that will be split (hub degree 5)
+        edges = [(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)]
+        edges += [(0, t) for t in (3, 4, 5)] + [(t, 0) for t in (3, 4, 5)]
+        return from_edge_list(edges)
+
+    def test_udt_changes_triangle_count(self):
+        graph = self._split_triangle()
+        before = triangle_count(graph)
+        assert before >= 1
+        result = udt_transform(graph, 2, dumb_weight=DumbWeight.NONE)
+        after = triangle_count(result.graph)
+        assert after != before, "splitting should break triangles"
+
+    def test_udt_changes_coloring(self):
+        graph = complete_graph(6)
+        before = chromatic_upper_bound(graph)  # 6
+        result = udt_transform(graph, 2, dumb_weight=DumbWeight.NONE)
+        after = chromatic_upper_bound(result.graph)
+        assert after != before
+
+    def test_safe_analytics_survive_same_transform(self):
+        """Contrast: the same transform leaves the safe analytics
+        intact (distances on original node ids)."""
+        from repro.algorithms.reference import reference_sssp
+
+        graph = self._split_triangle().with_weights(
+            np.ones(self._split_triangle().num_edges)
+        )
+        result = udt_transform(graph, 2, dumb_weight=DumbWeight.ZERO)
+        before = reference_sssp(graph, 1)
+        after = result.read_values(reference_sssp(result.graph, 1))
+        assert np.allclose(before, after)

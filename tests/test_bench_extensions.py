@@ -1,0 +1,101 @@
+"""Structure tests for the extension experiments (tiny scales).
+
+The ``benchmarks/`` wrappers assert the full-scale shapes; these
+verify the experiment *functions* themselves — row schemas, internal
+consistency, determinism — quickly enough to live in the unit suite.
+"""
+
+import pytest
+
+from repro.bench.ablations import push_vs_pull
+from repro.bench.hardwired import hardwired_comparison
+from repro.bench.orthogonality import device_generation_sweep, multigpu_orthogonality
+from repro.bench.scaling import speedup_scaling, transform_scaling
+from repro.bench.sweeps import reordering_comparison, skew_sweep
+from repro.bench.tables import table4_performance
+
+SCALE = 0.2
+
+
+class TestHardwiredComparison:
+    def test_row_schema(self):
+        report = hardwired_comparison(datasets=("pokec",), scale=SCALE)
+        assert len(report.rows) == 4  # one per primitive
+        for row in report.rows:
+            assert row["hardwired_ms"] > 0
+            assert row["tigr_ms"] > 0
+            assert row["tigr_over_hardwired"] == pytest.approx(
+                row["tigr_ms"] / row["hardwired_ms"]
+            )
+
+    def test_deterministic(self):
+        a = hardwired_comparison(datasets=("pokec",), scale=SCALE)
+        b = hardwired_comparison(datasets=("pokec",), scale=SCALE)
+        assert a.rows == b.rows
+
+
+class TestOrthogonality:
+    def test_multigpu_rows(self):
+        report = multigpu_orthogonality(dataset="pokec", scale=SCALE)
+        devices = [r["devices"] for r in report.rows]
+        assert devices == [1, 2, 4]
+        assert report.rows[0]["transfer_bytes"] == 0
+
+    def test_device_sweep_rows(self):
+        report = device_generation_sweep(dataset="pokec", scale=SCALE)
+        names = [r["device"] for r in report.rows]
+        assert names == ["p4000-class", "v100-class", "a100-class"]
+        for row in report.rows:
+            assert row["speedup"] > 0
+
+
+class TestScaling:
+    def test_transform_scaling_slopes_present(self):
+        report = transform_scaling(dataset="pokec", scales=(0.2, 0.4), repeats=1)
+        assert "physical_slope" in report.extras
+        assert "virtual_slope" in report.extras
+        assert report.rows[0]["edges"] < report.rows[1]["edges"]
+
+    def test_speedup_scaling_rows(self):
+        report = speedup_scaling(dataset="pokec", scales=(0.2, 0.4))
+        for row in report.rows:
+            assert row["speedup"] == pytest.approx(
+                row["baseline_ms"] / row["tigr_ms"]
+            )
+
+
+class TestSweeps:
+    def test_skew_sweep_has_control_row(self):
+        report = skew_sweep(num_nodes=800, target_edges=6000,
+                            max_degrees=(16, 256), seed=1)
+        labels = [r["graph"] for r in report.rows]
+        assert labels[-1] == "regular ring"
+        assert report.rows[-1]["speedup"] == pytest.approx(1.0, abs=0.05)
+
+    def test_reordering_configs(self):
+        report = reordering_comparison(dataset="pokec", scale=SCALE)
+        configs = {r["config"] for r in report.rows}
+        assert {"original ids", "degree-sorted", "bfs-ordered",
+                "tigr-v+ (original)", "tigr-v+ (degree-sorted)"} == configs
+
+
+class TestDirectionAblation:
+    def test_push_pull_rows(self):
+        report = push_vs_pull(dataset="pokec", scale=SCALE)
+        engines = {r["engine"] for r in report.rows}
+        assert engines == {"push", "pull", "adaptive", "tigr-v+ push"}
+        iters = {r["iterations"] for r in report.rows}
+        assert len(iters) == 1  # direction never changes BSP depth
+
+
+class TestExtendedTable4:
+    def test_extended_columns(self):
+        report = table4_performance(
+            algorithms=("sssp",), datasets=("pokec",), scale=SCALE, extended=True
+        )
+        row = report.rows[0]
+        for column in ("baseline", "tigr-udt", "tigr-v", "tigr-v+",
+                       "delta-sssp", "ecl-cc"):
+            assert column in row
+        assert row["ecl-cc"] == "-"  # wrong algorithm for that primitive
+        assert "(extended)" in report.experiment

@@ -1,0 +1,165 @@
+"""Unit tests for graph construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import (
+    deduplicate_edges,
+    from_arrays,
+    from_edge_list,
+    relabel,
+    remove_self_loops,
+    to_undirected,
+)
+
+
+class TestFromEdgeList:
+    def test_unweighted(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert not g.is_weighted
+
+    def test_weighted(self):
+        g = from_edge_list([(0, 1, 2.5)])
+        assert g.is_weighted
+        assert g.weights[0] == 2.5
+
+    def test_empty_with_num_nodes(self):
+        g = from_edge_list([], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_empty_weighted(self):
+        g = from_edge_list([], num_nodes=2, weighted=True)
+        assert g.is_weighted
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(GraphError, match="arity"):
+            from_edge_list([(0, 1), (1, 2, 3.0)])
+
+    def test_forced_weighted_flag(self):
+        with pytest.raises(GraphError):
+            from_edge_list([(0, 1)], weighted=True)
+
+    def test_non_integer_endpoints_rejected(self):
+        with pytest.raises(GraphError, match="integers"):
+            from_edge_list([(0.5, 1)])
+
+    def test_num_nodes_extends_graph(self):
+        g = from_edge_list([(0, 1)], num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_num_nodes_too_small(self):
+        with pytest.raises(GraphError, match="too small"):
+            from_edge_list([(0, 9)], num_nodes=5)
+
+
+class TestFromArrays:
+    def test_sorts_by_source_stably(self):
+        g = from_arrays([2, 0, 2, 0], [1, 1, 0, 2])
+        # node 0's edges keep input order (1 then 2), same for node 2
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(2)) == [1, 0]
+
+    def test_weight_alignment_after_sort(self):
+        g = from_arrays([1, 0], [0, 1], [10.0, 20.0])
+        assert g.edge_weights_of(0)[0] == 20.0
+        assert g.edge_weights_of(1)[0] == 10.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            from_arrays([0, 1], [0])
+        with pytest.raises(GraphError, match="parallel"):
+            from_arrays([0], [1], [1.0, 2.0])
+
+    def test_negative_endpoint(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            from_arrays([-1], [0])
+
+    def test_empty(self):
+        g = from_arrays([], [])
+        assert g.num_nodes == 0
+
+
+class TestToUndirected:
+    def test_both_directions_present(self):
+        g = to_undirected(from_edge_list([(0, 1), (1, 2)]))
+        for a, b in [(0, 1), (1, 0), (1, 2), (2, 1)]:
+            assert g.has_edge(a, b)
+
+    def test_no_duplicate_when_already_symmetric(self):
+        g = to_undirected(from_edge_list([(0, 1), (1, 0)]))
+        assert g.num_edges == 2
+
+    def test_weights_keep_minimum(self):
+        g = to_undirected(from_edge_list([(0, 1, 5.0), (1, 0, 3.0)]))
+        assert g.edge_weights_of(0)[0] == 3.0
+        assert g.edge_weights_of(1)[0] == 3.0
+
+    def test_in_degree_equals_out_degree(self):
+        from repro.graph.generators import rmat
+
+        g = to_undirected(rmat(50, 300, seed=3))
+        assert np.array_equal(g.out_degrees(), g.in_degrees())
+
+
+class TestDeduplicate:
+    def test_first_policy(self):
+        g = deduplicate_edges(from_arrays([0, 0, 0], [1, 1, 2], [5.0, 9.0, 1.0]))
+        assert g.num_edges == 2
+        assert g.edge_weights_of(0)[list(g.neighbors(0)).index(1)] == 5.0
+
+    def test_min_policy(self):
+        g = deduplicate_edges(
+            from_arrays([0, 0], [1, 1], [5.0, 3.0]), keep="min"
+        )
+        assert g.num_edges == 1
+        assert g.weights[0] == 3.0
+
+    def test_max_policy(self):
+        g = deduplicate_edges(
+            from_arrays([0, 0], [1, 1], [5.0, 3.0]), keep="max"
+        )
+        assert g.weights[0] == 5.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(GraphError, match="keep"):
+            deduplicate_edges(from_edge_list([(0, 1)]), keep="median")
+
+    def test_empty_graph_passthrough(self):
+        g = from_edge_list([], num_nodes=3)
+        assert deduplicate_edges(g) == g
+
+    def test_unweighted_dedup(self):
+        g = deduplicate_edges(from_arrays([0, 0, 1], [1, 1, 0]))
+        assert g.num_edges == 2
+
+
+class TestRemoveSelfLoops:
+    def test_removes_only_loops(self):
+        g = remove_self_loops(from_edge_list([(0, 0), (0, 1), (1, 1)]))
+        assert list(g.iter_edges()) == [(0, 1)]
+
+    def test_preserves_weights(self):
+        g = remove_self_loops(from_edge_list([(0, 0, 1.0), (0, 1, 2.0)]))
+        assert g.weights[0] == 2.0
+
+
+class TestRelabel:
+    def test_permutation_applied(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        h = relabel(g, np.array([2, 0, 1]))
+        assert sorted(h.iter_edges()) == sorted([(2, 0), (0, 1)])
+
+    def test_wrong_length(self):
+        with pytest.raises(GraphError):
+            relabel(from_edge_list([(0, 1)]), np.array([0]))
+
+    def test_not_bijection(self):
+        with pytest.raises(GraphError, match="bijection"):
+            relabel(from_edge_list([(0, 1), (1, 2)]), np.array([0, 0, 1]))
+
+    def test_out_of_range_values(self):
+        with pytest.raises(GraphError, match="range"):
+            relabel(from_edge_list([(0, 1)]), np.array([0, 5]))

@@ -1,0 +1,60 @@
+"""Tests for the terminal bar-chart renderer."""
+
+import pytest
+
+from repro.bench.chart import bar_chart, render_bar
+
+
+class TestRenderBar:
+    def test_full_width(self):
+        assert render_bar(10, 10, width=8) == "█" * 8
+
+    def test_half_width(self):
+        assert render_bar(5, 10, width=8) == "█" * 4
+
+    def test_fractional_cell(self):
+        bar = render_bar(1, 16, width=8)  # half a cell
+        assert bar == "▌"
+
+    def test_zero_and_negative(self):
+        assert render_bar(0, 10) == ""
+        assert render_bar(-1, 10) == ""
+        assert render_bar(5, 0) == ""
+
+
+class TestBarChart:
+    def rows(self):
+        return [
+            {"name": "a", "x": 1.0, "y": 2.0},
+            {"name": "b", "x": 4.0, "y": 0.5},
+        ]
+
+    def test_all_labels_and_values_present(self):
+        text = bar_chart(self.rows(), label_key="name", value_keys=["x", "y"])
+        for token in ("a", "b", "1.00", "4.00", "0.50"):
+            assert token in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart(self.rows(), label_key="name", value_keys=["x"], width=10)
+        lines = [l for l in text.splitlines() if "█" in l]
+        assert max(l.count("█") for l in lines) == 10
+
+    def test_title_and_reference(self):
+        text = bar_chart(self.rows(), label_key="name", value_keys=["x"],
+                         title="T", reference=1.0)
+        assert text.startswith("T")
+        assert "reference" in text
+
+    def test_nan_rendered_as_na(self):
+        rows = [{"name": "a", "x": float("nan")}, {"name": "b", "x": 2.0}]
+        text = bar_chart(rows, label_key="name", value_keys=["x"])
+        assert "(n/a)" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], label_key="n", value_keys=["x"], title="t")
+
+    def test_figure13_report_carries_chart(self):
+        from repro.bench import figure13_speedups
+
+        report = figure13_speedups(datasets=("pokec",), scale=0.25)
+        assert "█" in report.extras["chart"]

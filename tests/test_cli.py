@@ -1,0 +1,107 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.graph.generators import rmat
+from repro.graph.io import save_edge_list, save_npz
+
+
+class TestInfo:
+    def test_dataset(self, capsys):
+        assert main(["info", "pokec", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "num_nodes" in out and "gini" in out
+
+    def test_diameter_flag(self, capsys):
+        assert main(["info", "pokec", "--scale", "0.1", "--diameter"]) == 0
+        assert "diameter_estimate" in capsys.readouterr().out
+
+    def test_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        save_edge_list(rmat(30, 100, seed=1), path)
+        assert main(["info", str(path)]) == 0
+        assert "num_nodes" in capsys.readouterr().out
+
+    def test_npz_file(self, tmp_path, capsys):
+        path = tmp_path / "g.npz"
+        save_npz(rmat(30, 100, seed=1), path)
+        assert main(["info", str(path)]) == 0
+
+    def test_unknown_graph(self, capsys):
+        assert main(["info", "doesnotexist"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTransform:
+    def test_udt(self, capsys):
+        assert main(["transform", "pokec", "--scale", "0.1",
+                     "--method", "udt", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "UDT transform" in out and "space ratio" in out
+
+    def test_virtual_plus(self, capsys):
+        assert main(["transform", "pokec", "--scale", "0.1", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out and "virtual nodes" in out
+
+    def test_virtual_default(self, capsys):
+        assert main(["transform", "pokec", "--scale", "0.1",
+                     "--method", "virtual"]) == 0
+        assert "default" in capsys.readouterr().out
+
+
+class TestRunAndCompare:
+    def test_run_default_method(self, capsys):
+        assert main(["run", "sssp", "pokec", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "tigr-v+" in out and "warp efficiency" in out
+
+    def test_run_explicit_source(self, capsys):
+        assert main(["run", "bfs", "pokec", "--scale", "0.1",
+                     "--source", "0"]) == 0
+        assert "iterations" in capsys.readouterr().out
+
+    def test_run_unknown_method(self, capsys):
+        assert main(["run", "sssp", "pokec", "--scale", "0.1",
+                     "--method", "ligra"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "sswp", "pokec", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        # gunrock lacks SSWP -> a dash; Tigr variants present
+        assert "gunrock" in out and "tigr-v+" in out and "-" in out
+
+    def test_bad_algorithm_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "coloring", "pokec"])
+
+
+class TestBenchForwarding:
+    def test_bench_subset(self, capsys):
+        assert main(["bench", "table1", "--scale", "0.1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_bench_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "table99"])
+
+
+class TestCLIGaps:
+    def test_unsupported_method_algorithm_pair(self, capsys):
+        # tigr-udt ships no PR (Corollary 4 needs pull) -> clean error
+        assert main(["run", "pr", "pokec", "--scale", "0.1",
+                     "--method", "tigr-udt"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_info_on_npz_with_weights(self, tmp_path, capsys):
+        path = tmp_path / "g.npz"
+        save_npz(rmat(30, 100, seed=1, weight_range=(1, 4)), path)
+        assert main(["info", str(path)]) == 0
+
+    def test_transform_weights_for_sswp(self, capsys):
+        assert main(["transform", "pokec", "--scale", "0.1",
+                     "--method", "udt", "--k", "4",
+                     "--weights-for", "sswp"]) == 0

@@ -1,0 +1,189 @@
+"""Tests for the G-Shards / Concatenated Windows representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.programs import BFSProgram, CCProgram, SSSPProgram, SSWPProgram
+from repro.algorithms.reference import (
+    reference_bfs,
+    reference_connected_components,
+    reference_sssp,
+    reference_sswp,
+)
+from repro.baselines.cusha_shards import GShards
+from repro.errors import EngineError
+from repro.graph.builder import from_edge_list, to_undirected
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def shard_graph():
+    return rmat(100, 900, seed=23, weight_range=(1, 9))
+
+
+class TestConstruction:
+    def test_bad_shard_size(self, shard_graph):
+        with pytest.raises(EngineError):
+            GShards.from_graph(shard_graph, 0)
+
+    def test_shard_count(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 32)
+        assert shards.num_shards == -(-100 // 32)
+
+    def test_every_edge_once(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        assert shards.num_edges == shard_graph.num_edges
+        original = sorted(zip(*shard_graph.to_coo()[:2]))
+        stored = sorted(zip(shards.src.tolist(), shards.dst.tolist()))
+        assert original == stored
+
+    def test_destinations_partitioned(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        for shard in range(shards.num_shards):
+            span = shards.shard_edges(shard)
+            dsts = shards.dst[span]
+            assert np.all(dsts // 16 == shard)
+
+    def test_sources_sorted_within_windows(self, shard_graph):
+        """The coalescing property: each window's sources ascend."""
+        shards = GShards.from_graph(shard_graph, 16)
+        for shard in range(shards.num_shards):
+            for source_shard in range(shards.num_shards):
+                window = shards.window(shard, source_shard)
+                srcs = shards.src[window]
+                assert np.all(np.diff(srcs) >= 0)
+                assert np.all(srcs // 16 == source_shard) if len(srcs) else True
+
+    def test_windows_tile_each_shard(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        for shard in range(shards.num_shards):
+            span = shards.shard_edges(shard)
+            covered = 0
+            for source_shard in range(shards.num_shards):
+                window = shards.window(shard, source_shard)
+                covered += window.stop - window.start
+            assert covered == span.stop - span.start
+
+    def test_weights_travel_with_edges(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        # rebuild a lookup and compare a sample
+        lookup = {}
+        src, dst, w = shard_graph.to_coo()
+        for s, d, weight in zip(src, dst, w):
+            lookup[(int(s), int(d))] = float(weight)
+        for i in range(0, shards.num_edges, 37):
+            key = (int(shards.src[i]), int(shards.dst[i]))
+            assert lookup[key] == float(shards.weights[i])
+
+    def test_single_shard_degenerate(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 1000)
+        assert shards.num_shards == 1
+
+
+class TestSemantics:
+    def test_sssp_equals_reference(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        source = int(np.argmax(shard_graph.out_degrees()))
+        values, _ = shards.run_program(SSSPProgram(), source)
+        assert np.allclose(values, reference_sssp(shard_graph, source))
+
+    def test_bfs_equals_reference(self, shard_graph):
+        g = shard_graph.without_weights()
+        shards = GShards.from_graph(g, 8)
+        source = int(np.argmax(g.out_degrees()))
+        values, _ = shards.run_program(BFSProgram(), source)
+        assert np.allclose(values, reference_bfs(g, source), equal_nan=True)
+
+    def test_sswp_equals_reference(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        source = int(np.argmax(shard_graph.out_degrees()))
+        values, _ = shards.run_program(SSWPProgram(), source)
+        assert np.allclose(values, reference_sswp(shard_graph, source))
+
+    def test_cc_equals_reference(self):
+        g = to_undirected(rmat(80, 400, seed=5))
+        shards = GShards.from_graph(g, 16)
+        values, _ = shards.run_program(CCProgram(), None)
+        assert np.array_equal(
+            values.astype(np.int64), reference_connected_components(g)
+        )
+
+    def test_iterations_bounded_by_push_engine(self, shard_graph):
+        """Shard sweeps converge no slower than +1 of the BSP push
+        engine (same value propagation per sweep)."""
+        from repro.algorithms import sssp
+
+        source = int(np.argmax(shard_graph.out_degrees()))
+        push = sssp(shard_graph, source)
+        shards = GShards.from_graph(shard_graph, 16)
+        _, iterations = shards.run_program(SSSPProgram(), source)
+        assert iterations <= push.num_iterations + 1
+
+    def test_nonconvergence_guard(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        source = int(np.argmax(shard_graph.out_degrees()))
+        with pytest.raises(EngineError, match="converge"):
+            shards.run_program(SSSPProgram(), source, max_iterations=1)
+
+
+class TestStorage:
+    def test_edge_replication_factor(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        csr_words = (shard_graph.num_nodes + 1) + 2 * shard_graph.num_edges
+        # 4 words/edge (weighted) vs CSR's ~2: the CuSha blow-up
+        assert shards.storage_words() > 1.5 * csr_words
+
+    def test_unweighted_cheaper(self):
+        g = rmat(100, 900, seed=23)
+        weighted = GShards.from_graph(g.with_weights(np.ones(g.num_edges)), 16)
+        unweighted = GShards.from_graph(g, 16)
+        assert unweighted.storage_words() < weighted.storage_words()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    shard_size=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=25, deadline=None)
+def test_shard_sssp_property(seed, shard_size):
+    """Property: any shard size yields reference SSSP results."""
+    graph = rmat(40, 300, seed=seed, weight_range=(1, 7))
+    source = int(np.argmax(graph.out_degrees()))
+    shards = GShards.from_graph(graph, shard_size)
+    values, _ = shards.run_program(SSSPProgram(), source)
+    assert np.allclose(values, reference_sssp(graph, source))
+
+
+class TestConcatenatedWindows:
+    def test_cw_results_identical(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        source = int(np.argmax(shard_graph.out_degrees()))
+        plain, _ = shards.run_program(SSSPProgram(), source)
+        cw_values, _, _ = shards.run_program_cw(SSSPProgram(), source)
+        assert np.allclose(cw_values, plain)
+
+    def test_cw_skips_stale_edge_work(self, shard_graph):
+        """The CW payoff: fewer edges swept than all-shards x sweeps."""
+        shards = GShards.from_graph(shard_graph, 16)
+        source = int(np.argmax(shard_graph.out_degrees()))
+        _, iterations = shards.run_program(SSSPProgram(), source)
+        _, cw_iterations, cw_edges = shards.run_program_cw(SSSPProgram(), source)
+        full_edges = iterations * shards.num_edges
+        assert cw_edges < full_edges
+        assert cw_iterations <= iterations + 1
+
+    def test_cw_cc(self):
+        g = to_undirected(rmat(80, 400, seed=5))
+        shards = GShards.from_graph(g, 16)
+        values, _, _ = shards.run_program_cw(CCProgram(), None)
+        assert np.array_equal(
+            values.astype(np.int64), reference_connected_components(g)
+        )
+
+    def test_cw_nonconvergence_guard(self, shard_graph):
+        shards = GShards.from_graph(shard_graph, 16)
+        source = int(np.argmax(shard_graph.out_degrees()))
+        with pytest.raises(EngineError, match="CW"):
+            shards.run_program_cw(SSSPProgram(), source, max_iterations=1)

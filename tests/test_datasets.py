@@ -1,0 +1,83 @@
+"""Unit tests for the Table 3 dataset stand-ins."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import DATASETS, DEFAULT_SEED, dataset_names, load_dataset
+from repro.graph.stats import degree_stats
+
+
+class TestSpecs:
+    def test_six_datasets_in_table3_order(self):
+        assert dataset_names() == (
+            "pokec", "livejournal", "hollywood", "orkut", "sinaweibo", "twitter"
+        )
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["twitter"].paper_edges == 530_000_000
+        assert DATASETS["sinaweibo"].paper_nodes == 59_000_000
+
+    def test_size_ordering_matches_paper(self):
+        """The stand-ins preserve the paper's edge-count ordering."""
+        order = [DATASETS[n].target_edges for n in dataset_names()]
+        paper = [DATASETS[n].paper_edges for n in dataset_names()]
+        assert sorted(range(6), key=lambda i: order[i]) == sorted(
+            range(6), key=lambda i: paper[i]
+        )
+
+    def test_mean_degree_property(self):
+        spec = DATASETS["pokec"]
+        assert spec.mean_degree == pytest.approx(spec.target_edges / spec.num_nodes)
+
+
+class TestLoad:
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            load_dataset("pokec", scale=0)
+
+    def test_case_insensitive(self):
+        assert load_dataset("Pokec", scale=0.1) == load_dataset("pokec", scale=0.1)
+
+    def test_deterministic_default_seed(self):
+        assert load_dataset("pokec", scale=0.1) == load_dataset(
+            "pokec", scale=0.1, seed=DEFAULT_SEED
+        )
+
+    def test_seed_changes_graph(self):
+        assert load_dataset("pokec", scale=0.1, seed=1) != load_dataset(
+            "pokec", scale=0.1, seed=2
+        )
+
+    def test_weighted_by_default(self):
+        assert load_dataset("pokec", scale=0.1).is_weighted
+
+    def test_unweighted_option(self):
+        assert not load_dataset("pokec", scale=0.1, weighted=False).is_weighted
+
+    def test_scale_shrinks(self):
+        small = load_dataset("pokec", scale=0.1)
+        full = load_dataset("pokec", scale=1.0)
+        assert small.num_nodes < full.num_nodes
+        assert small.num_edges < full.num_edges
+
+    def test_edge_count_near_target(self):
+        for name in ("pokec", "livejournal"):
+            g = load_dataset(name)
+            target = DATASETS[name].target_edges
+            assert abs(g.num_edges - target) / target < 0.2
+
+    def test_power_law_shape(self):
+        """All stand-ins are genuinely irregular (the paper's premise)."""
+        for name in dataset_names():
+            g = load_dataset(name)
+            stats = degree_stats(g)
+            assert stats.coefficient_of_variation > 1.0, name
+            assert stats.max_degree > 10 * stats.mean_degree, name
+
+    def test_rmat_dataset(self):
+        g = load_dataset("twitter", scale=0.1)
+        assert g.num_nodes == 2100

@@ -1,0 +1,72 @@
+"""Unit + property tests for on-the-fly mapping reasoning (§4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicMapper
+from repro.errors import TransformError
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import rmat
+
+
+class TestDynamicMapper:
+    def test_bad_bound(self, powerlaw_graph):
+        with pytest.raises(TransformError):
+            DynamicMapper(powerlaw_graph, 0)
+
+    def test_zero_extra_memory(self, powerlaw_graph):
+        assert DynamicMapper(powerlaw_graph, 4).extra_memory_words() == 0
+
+    def test_num_virtual_nodes_matches_stored(self, powerlaw_graph):
+        mapper = DynamicMapper(powerlaw_graph, 4)
+        assert mapper.num_virtual_nodes() == mapper.materialize().num_virtual_nodes
+
+    def test_figure10_reasoning(self):
+        """§4.1: node of degree 6, K=3 -> split into ceil(6/3)=2."""
+        g = from_edge_list([(0, t) for t in range(1, 7)])
+        mapper = DynamicMapper(g, 3)
+        assert mapper.num_virtual_nodes() == 2
+        assert mapper.physical_of(0) == 0
+        assert mapper.physical_of(1) == 0
+        assert mapper.edge_slots(0).tolist() == [0, 1, 2]
+        assert mapper.edge_slots(1).tolist() == [3, 4, 5]
+
+    def test_out_of_range_virtual_id(self, powerlaw_graph):
+        mapper = DynamicMapper(powerlaw_graph, 4)
+        with pytest.raises(TransformError, match="out of range"):
+            mapper.resolve(np.array([mapper.num_virtual_nodes()]))
+        with pytest.raises(TransformError):
+            mapper.resolve(np.array([-1]))
+
+    def test_resolve_batch(self, powerlaw_graph):
+        mapper = DynamicMapper(powerlaw_graph, 4)
+        total = mapper.num_virtual_nodes()
+        physical, starts, counts = mapper.resolve(np.arange(total))
+        assert counts.max() <= 4
+        assert counts.min() >= 1
+        assert counts.sum() == powerlaw_graph.num_edges
+        # physical ids non-decreasing when virtual ids are sequential
+        assert np.all(np.diff(physical) >= 0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=40),
+    k=st.integers(min_value=1, max_value=11),
+)
+@settings(max_examples=60, deadline=None)
+def test_dynamic_equals_stored_virtual_node_array(seed, k):
+    """Property (§4.1): the two virtualization designs — stored array
+    and on-the-fly reasoning — define the identical mapping."""
+    graph = rmat(50, 500, seed=seed)
+    mapper = DynamicMapper(graph, k)
+    stored = mapper.materialize()
+    total = mapper.num_virtual_nodes()
+    assert total == stored.num_virtual_nodes
+    physical, starts, counts = mapper.resolve(np.arange(total))
+    assert np.array_equal(physical, stored.physical_ids)
+    s2, c2, strides = stored.edge_layout()
+    assert np.array_equal(starts, s2)
+    assert np.array_equal(counts, c2)
+    assert np.all(strides == 1)

@@ -1,0 +1,97 @@
+"""Edge cases across modules that the focused suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.types import TransformResult, TransformStats
+from repro.core.udt import udt_transform
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import estimate_diameter
+from repro.graph.generators import star
+
+
+class TestTransformResultCorners:
+    def test_no_split_families_empty(self, regular_graph):
+        result = udt_transform(regular_graph, 100)
+        assert result.families() == {}
+        assert result.stats.num_families == 0
+        assert result.stats.max_family_hops == 0
+
+    def test_space_ratio_identity_when_untouched(self, regular_graph):
+        result = udt_transform(regular_graph, 100)
+        ratio = result.stats.space_ratio(regular_graph, result.graph)
+        assert ratio == pytest.approx(1.0)
+
+    def test_space_ratio_grows_with_splits(self):
+        graph = star(100)
+        result = udt_transform(graph, 4)
+        assert result.stats.space_ratio(graph, result.graph) > 1.2
+
+    def test_stats_fields_consistent(self):
+        graph = star(50)
+        result = udt_transform(graph, 5)
+        stats = result.stats
+        assert stats.degree_bound == 5
+        assert stats.new_nodes == result.graph.num_nodes - graph.num_nodes
+        assert stats.new_edges == int(result.new_edge_mask.sum())
+        assert stats.max_degree_after == result.graph.max_out_degree()
+
+
+class TestEmptyGraphCorners:
+    def empty(self):
+        return from_edge_list([], num_nodes=0)
+
+    def test_reverse_of_empty(self):
+        g = self.empty()
+        assert g.reverse().num_nodes == 0
+
+    def test_iter_edges_empty(self):
+        assert list(self.empty().iter_edges()) == []
+
+    def test_diameter_of_empty(self):
+        assert estimate_diameter(self.empty()) == 0
+
+    def test_nbytes_nonzero_for_offsets(self):
+        # even an empty graph stores the length-1 offsets array
+        assert self.empty().nbytes() > 0
+
+    def test_udt_on_singleton(self):
+        g = from_edge_list([], num_nodes=1)
+        result = udt_transform(g, 4)
+        assert result.graph.num_nodes == 1
+
+
+class TestReportFormatting:
+    def test_inf_nan_and_huge_cells(self):
+        text = format_table([
+            {"a": float("inf"), "b": float("nan"), "c": 1.5e7, "d": 1e-5},
+        ])
+        assert "inf" in text
+        assert "-" in text  # NaN renders as a dash
+        assert "e+07" in text or "1.5e7" in text.replace(" ", "")
+
+    def test_mixed_missing_columns(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "-" in lines[2] and "-" in lines[3]
+
+    def test_non_numeric_cells_pass_through(self):
+        text = format_table([{"label": "OOM"}])
+        assert "OOM" in text
+
+
+class TestCSRDegenerate:
+    def test_single_self_loop(self):
+        g = CSRGraph(np.array([0, 1]), np.array([0]))
+        assert g.has_edge(0, 0)
+        assert g.in_degrees().tolist() == [1]
+        rev = g.reverse()
+        assert rev.has_edge(0, 0)
+
+    def test_max_degree_all_isolated(self):
+        g = from_edge_list([], num_nodes=5)
+        assert g.max_out_degree() == 0
+        assert g.edge_sources().tolist() == []

@@ -1,0 +1,134 @@
+"""Exception-hierarchy tests and hypothesis properties of the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DatasetError,
+    DeviceOutOfMemoryError,
+    EngineError,
+    GraphError,
+    TigrError,
+    TransformError,
+)
+from repro.gpu.config import GPUConfig, KernelProfile
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.warp import WorkTrace, warp_statistics
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [GraphError, TransformError, EngineError, DatasetError]
+    )
+    def test_all_derive_from_tigr_error(self, exc):
+        assert issubclass(exc, TigrError)
+        with pytest.raises(TigrError):
+            raise exc("boom")
+
+    def test_oom_carries_sizes(self):
+        err = DeviceOutOfMemoryError(2048, 1024, "test set")
+        assert err.required_bytes == 2048
+        assert err.available_bytes == 1024
+        assert "test set" in str(err)
+        assert "2,048" in str(err)
+
+    def test_oom_without_what(self):
+        assert "bytes" in str(DeviceOutOfMemoryError(10, 5))
+
+    def test_catchable_as_tigr_error(self):
+        with pytest.raises(TigrError):
+            raise DeviceOutOfMemoryError(2, 1)
+
+
+def _trace(counts, starts, strides):
+    return WorkTrace(
+        np.asarray(counts, dtype=np.int64),
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(strides, dtype=np.int64),
+    )
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    counts = draw(st.lists(st.integers(0, 50), min_size=n, max_size=n))
+    starts = draw(st.lists(st.integers(0, 10_000), min_size=n, max_size=n))
+    strides = draw(st.lists(st.integers(1, 16), min_size=n, max_size=n))
+    return _trace(counts, starts, strides)
+
+
+@given(trace=traces())
+@settings(max_examples=150, deadline=None)
+def test_warp_statistics_invariants(trace):
+    """Properties that must hold for any trace whatsoever."""
+    stats = warp_statistics(trace)
+    # efficiency is a fraction
+    assert 0.0 <= stats.warp_efficiency() <= 1.0
+    # lane conservation
+    assert stats.total_edges == trace.total_edges
+    if trace.num_threads:
+        assert stats.launched_lanes.sum() == trace.num_threads
+    # steps dominate any single lane, never exceed the warp total
+    if stats.num_warps:
+        assert stats.steps.max(initial=0) <= max(trace.counts.max(initial=0), 0)
+        assert (stats.edges <= stats.steps * 32).all()
+        assert (stats.gap_bytes >= 8).all()
+        assert (stats.gap_bytes <= 128).all()
+
+
+@given(trace=traces())
+@settings(max_examples=100, deadline=None)
+def test_simulated_cost_positive_and_finite(trace):
+    sim = GPUSimulator()
+    metrics = sim.record_iteration(trace)
+    assert metrics.cycles >= sim.config.kernel_launch_cycles
+    assert np.isfinite(metrics.cycles)
+    assert metrics.time_ms >= 0
+    assert metrics.instructions >= 0
+
+
+@given(
+    counts=st.lists(st.integers(0, 30), min_size=1, max_size=64),
+    extra=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_more_work_never_cheaper(counts, extra):
+    """Monotonicity: adding edges to a lane never reduces the cost."""
+    starts = np.arange(len(counts), dtype=np.int64) * 100
+    strides = np.ones(len(counts), dtype=np.int64)
+    base = GPUSimulator().record_iteration(
+        _trace(counts, starts, strides)
+    ).cycles
+    heavier = list(counts)
+    heavier[0] += extra
+    more = GPUSimulator().record_iteration(
+        _trace(heavier, starts, strides)
+    ).cycles
+    assert more >= base
+
+
+@given(
+    threads=st.integers(min_value=1, max_value=2048),
+    count=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_uniform_traces_are_maximally_efficient(threads, count):
+    """Uniform work in full warps has efficiency 1; partial final
+    warps only lose their empty lanes."""
+    stats = warp_statistics(WorkTrace.uniform(threads, count))
+    full_warps = threads // 32
+    if threads % 32 == 0 and full_warps:
+        assert stats.warp_efficiency() == pytest.approx(1.0)
+    else:
+        expected = threads * count / (stats.total_steps * 32)
+        assert stats.warp_efficiency() == pytest.approx(expected)
+
+
+@given(scale=st.floats(min_value=0.25, max_value=4.0))
+@settings(max_examples=30, deadline=None)
+def test_clock_scaling_linear(scale):
+    """Doubling the clock halves the milliseconds, exactly."""
+    cfg = GPUConfig(clock_ghz=1.2 * scale)
+    assert cfg.cycles_to_ms(1e6) == pytest.approx(1e6 / (1.2 * scale * 1e9) * 1e3)

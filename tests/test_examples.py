@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are the README's contract with adopters; these tests run
+each as a subprocess (fresh interpreter, like a user would) and check
+for a clean exit and the expected headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "speedup",
+    "social_influencers.py": "top influencers",
+    "warp_efficiency_study.py": "Takeaway",
+    "transform_playground.py": "Corollary 3 holds",
+    "memory_pressure.py": "OOM",
+    "multi_gpu_orthogonality.py": "Orthogonal",
+    "route_planner.py": "shortest-path DAG",
+    "interop_workflow.py": "cross-check",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(CASES.items()))
+def test_example_runs(script, marker):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout, f"{script} output missing {marker!r}"

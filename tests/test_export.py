@@ -1,0 +1,136 @@
+"""Tests for JSON report export/import."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import (
+    export_key,
+    load_report,
+    report_to_dict,
+    save_report,
+)
+from repro.bench.report import ExperimentReport
+
+
+@pytest.fixture
+def report():
+    r = ExperimentReport("Table X", "a test report")
+    r.add_row(dataset="pokec", value=np.float64(1.5), count=np.int64(7))
+    r.add_row(dataset="orkut", value=2.5, count=9, missing=float("inf"))
+    r.extras["geomean"] = np.float64(1.93)
+    r.extras["flags"] = [True, False]
+    return r
+
+
+class TestExport:
+    def test_roundtrip(self, report, tmp_path):
+        path = tmp_path / "r.json"
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded.experiment == report.experiment
+        assert loaded.rows[0]["dataset"] == "pokec"
+        assert loaded.rows[0]["value"] == 1.5
+        assert loaded.extras["geomean"] == pytest.approx(1.93)
+
+    def test_numpy_types_coerced(self, report, tmp_path):
+        path = tmp_path / "r.json"
+        save_report(report, path)
+        raw = json.loads(path.read_text())
+        assert isinstance(raw["rows"][0]["value"], float)
+        assert isinstance(raw["rows"][0]["count"], int)
+
+    def test_infinity_stringified(self, report, tmp_path):
+        path = tmp_path / "r.json"
+        save_report(report, path)
+        raw = json.loads(path.read_text())
+        assert raw["rows"][1]["missing"] == "inf"
+
+    def test_schema_version_present(self, report):
+        assert report_to_dict(report)["schema_version"] == 1
+
+    def test_export_key(self):
+        assert export_key("Table 1") == "table_1"
+        assert export_key("Sec 2.3") == "sec_23"
+
+
+class TestCLIJson:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "results"
+        assert main(["table1", "--json", str(out)]) == 0
+        files = list(out.glob("*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["experiment"] == "Table 1"
+        assert payload["extras"]["all_match"] is True
+
+
+class TestCompareResults:
+    def _write(self, directory, name, rows):
+        from repro.bench.export import save_report
+        from repro.bench.report import ExperimentReport
+
+        directory.mkdir(exist_ok=True)
+        report = ExperimentReport(name, "d")
+        report.rows.extend(rows)
+        save_report(report, directory / f"{name}.json")
+
+    def test_identical_runs_agree(self, tmp_path):
+        from repro.bench.export import compare_results
+
+        rows = [{"dataset": "pokec", "time_ms": 1.0, "best": "tigr-v+"}]
+        self._write(tmp_path / "a", "t4", rows)
+        self._write(tmp_path / "b", "t4", rows)
+        diff = compare_results(tmp_path / "a", tmp_path / "b")
+        assert diff["experiments"] == 1
+        assert diff["drifts"] == [] and diff["structural"] == []
+
+    def test_numeric_drift_flagged(self, tmp_path):
+        from repro.bench.export import compare_results
+
+        self._write(tmp_path / "a", "t4", [{"time_ms": 1.0}])
+        self._write(tmp_path / "b", "t4", [{"time_ms": 1.5}])
+        diff = compare_results(tmp_path / "a", tmp_path / "b", tolerance=0.1)
+        assert len(diff["drifts"]) == 1
+        assert "time_ms" in diff["drifts"][0]
+
+    def test_small_drift_within_tolerance(self, tmp_path):
+        from repro.bench.export import compare_results
+
+        self._write(tmp_path / "a", "t4", [{"time_ms": 1.00}])
+        self._write(tmp_path / "b", "t4", [{"time_ms": 1.05}])
+        diff = compare_results(tmp_path / "a", tmp_path / "b", tolerance=0.1)
+        assert diff["drifts"] == []
+
+    def test_winner_change_always_flagged(self, tmp_path):
+        from repro.bench.export import compare_results
+
+        self._write(tmp_path / "a", "t4", [{"best": "tigr-v+"}])
+        self._write(tmp_path / "b", "t4", [{"best": "cusha"}])
+        diff = compare_results(tmp_path / "a", tmp_path / "b")
+        assert len(diff["drifts"]) == 1
+
+    def test_structural_changes(self, tmp_path):
+        from repro.bench.export import compare_results
+
+        self._write(tmp_path / "a", "t4", [{"x": 1}])
+        self._write(tmp_path / "a", "t5", [{"x": 1}])
+        self._write(tmp_path / "b", "t4", [{"x": 1}, {"x": 2}])
+        diff = compare_results(tmp_path / "a", tmp_path / "b")
+        assert any("row count" in s for s in diff["structural"])
+        assert any("removed" in s for s in diff["structural"])
+
+    def test_real_artifacts_self_compare(self, tmp_path):
+        """A freshly generated artifact directory diffs clean against
+        itself (full determinism of the experiments)."""
+        from repro.bench.__main__ import main
+        from repro.bench.export import compare_results
+
+        out_a, out_b = tmp_path / "a", tmp_path / "b"
+        assert main(["table1", "--json", str(out_a)]) == 0
+        assert main(["table1", "--json", str(out_b)]) == 0
+        diff = compare_results(out_a, out_b, tolerance=0.0)
+        assert diff["drifts"] == [] and diff["structural"] == []

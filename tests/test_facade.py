@@ -1,0 +1,81 @@
+"""Tests for the top-level convenience facade and K selection."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.reference import reference_sssp
+from repro.core.selection import choose_physical_k, choose_virtual_k
+from repro.graph.generators import rmat, star
+
+
+class TestKSelection:
+    def test_virtual_is_the_papers_constant(self):
+        assert choose_virtual_k(rmat(50, 200, seed=1)) == 10
+
+    def test_physical_floor(self):
+        assert choose_physical_k(star(500)) == 8
+
+    def test_physical_grows_with_dmax(self):
+        ks = [choose_physical_k(star(d)) for d in (500, 2_000, 20_000, 300_000)]
+        assert ks == sorted(ks)
+        assert ks[0] == 8 and ks[-1] > ks[0]
+
+    def test_physical_clamped(self):
+        assert choose_physical_k(star(10_000_000)) <= 512
+
+    def test_matches_dataset_spec_regime(self):
+        """The heuristic lands in the same band as the tuned Table 3
+        stand-in bounds (within a factor of two)."""
+        from repro.graph.datasets import DATASETS, load_dataset
+
+        for name in ("pokec", "livejournal", "orkut", "sinaweibo"):
+            graph = load_dataset(name, scale=0.5)
+            chosen = choose_physical_k(graph)
+            tuned = DATASETS[name].k_udt
+            assert tuned / 2 <= chosen <= tuned * 2, (name, chosen, tuned)
+
+
+class TestFacade:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_tigr_auto_k(self):
+        graph = repro.rmat(100, 900, seed=2, weight_range=(1, 5))
+        view = repro.tigr(graph)
+        assert view.degree_bound == 10
+        assert view.coalesced
+
+    def test_run_on_tigr_view(self):
+        graph = repro.rmat(150, 1200, seed=3, weight_range=(1, 8))
+        source = int(np.argmax(graph.out_degrees()))
+        result = repro.run("sssp", repro.tigr(graph), source)
+        assert np.allclose(result.values, reference_sssp(graph, source))
+        assert result.metrics is not None
+        assert result.metrics.total_time_ms > 0
+
+    def test_run_without_simulation(self):
+        graph = repro.rmat(100, 600, seed=4, weight_range=(1, 5))
+        result = repro.run("sssp", graph, 0, simulate=False)
+        assert result.metrics is None
+
+    def test_tigr_physical_roundtrip(self):
+        graph = repro.rmat(150, 1500, seed=5, weight_range=(1, 8))
+        source = int(np.argmax(graph.out_degrees()))
+        physical = repro.tigr_physical(graph, algorithm="sssp")
+        result = repro.run("sssp", physical.graph, source, simulate=False)
+        assert np.allclose(
+            physical.read_values(result.values), reference_sssp(graph, source)
+        )
+
+    def test_run_all_algorithms(self):
+        graph = repro.rmat(80, 600, seed=6, weight_range=(1, 5))
+        source = 0
+        for algorithm in ("bfs", "sssp", "sswp", "bc", "pr"):
+            result = repro.run(algorithm, repro.tigr(graph), source)
+            assert len(result.values) == graph.num_nodes
+
+    def test_readme_snippet_shape(self):
+        graph = repro.load_dataset("pokec", scale=0.1)
+        result = repro.run("sssp", repro.tigr(graph), source=0)
+        assert result.metrics.total_time_ms >= 0

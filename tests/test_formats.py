@@ -1,0 +1,160 @@
+"""Tests for Matrix Market and METIS interop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list, to_undirected
+from repro.graph.formats import load_metis, load_mtx, save_metis, save_mtx
+from repro.graph.generators import rmat
+
+
+class TestMatrixMarket:
+    def test_roundtrip_weighted(self, tmp_path):
+        g = rmat(40, 250, seed=8, weight_range=(1, 9))
+        path = tmp_path / "g.mtx"
+        save_mtx(g, path, comment="test graph")
+        g2 = load_mtx(path)
+        assert g2 == g
+
+    def test_roundtrip_pattern(self, tmp_path):
+        g = rmat(40, 250, seed=8)
+        path = tmp_path / "g.mtx"
+        save_mtx(g, path)
+        g2 = load_mtx(path)
+        assert not g2.is_weighted
+        assert g2 == g
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 3\n"
+        )
+        g = load_mtx(path)
+        assert g.has_edge(1, 0) and g.has_edge(0, 1)
+        assert g.has_edge(2, 2)  # diagonal once
+        assert g.num_edges == 3
+
+    def test_one_indexed(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "% a comment\n"
+            "2 2 1\n"
+            "1 2 5\n"
+        )
+        g = load_mtx(path)
+        assert g.has_edge(0, 1)
+        assert g.weights[0] == 5.0
+
+    def test_rectangular_uses_max_dimension(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 5 1\n"
+            "1 5\n"
+        )
+        assert load_mtx(path).num_nodes == 5
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(GraphError, match="header"):
+            load_mtx(path)
+
+    def test_dense_array_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(GraphError, match="coordinate"):
+            load_mtx(path)
+
+    def test_complex_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+        with pytest.raises(GraphError, match="value type"):
+            load_mtx(path)
+
+    def test_out_of_bounds_entry(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n9 1\n"
+        )
+        with pytest.raises(GraphError, match="out of bounds"):
+            load_mtx(path)
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = to_undirected(rmat(30, 150, seed=9))
+        path = tmp_path / "g.graph"
+        save_metis(g, path)
+        g2 = load_metis(path)
+        assert sorted(g2.iter_edges()) == sorted(
+            (a, b) for a, b in g.iter_edges() if a != b
+        )
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = to_undirected(rmat(30, 150, seed=9, weight_range=(1, 5)))
+        path = tmp_path / "g.graph"
+        save_metis(g, path)
+        g2 = load_metis(path)
+        assert g2.is_weighted
+        assert g2.num_nodes == g.num_nodes
+
+    def test_known_file(self, tmp_path):
+        # the classic METIS example: a 4-node path, 3 undirected edges
+        path = tmp_path / "p.graph"
+        path.write_text("4 3\n2\n1 3\n2 4\n3\n")
+        g = load_metis(path)
+        assert g.num_nodes == 4
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(2, 3)
+
+    def test_directed_graph_rejected_on_save(self, tmp_path):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(GraphError, match="undirected"):
+            save_metis(g, tmp_path / "bad.graph")
+
+    def test_header_mismatch(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 1\n2\n1\n")  # declares 3 nodes, lists 2
+        with pytest.raises(GraphError, match="lines"):
+            load_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% header comment\n2 1\n2\n1\n")
+        assert load_metis(path).num_edges == 2
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 1\n5\n\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_self_loops_dropped_on_save(self, tmp_path):
+        g = from_edge_list([(0, 0), (0, 1), (1, 0)])
+        path = tmp_path / "g.graph"
+        save_metis(g, path)
+        g2 = load_metis(path)
+        assert not g2.has_edge(0, 0)
+
+    def test_cross_format_consistency(self, tmp_path):
+        """SNAP edge list, npz, mtx and METIS all reload to the same
+        undirected graph."""
+        from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+        g = to_undirected(rmat(25, 120, seed=10))
+        mtx, npz, txt, metis = (tmp_path / n for n in
+                                ("g.mtx", "g.npz", "g.txt", "g.graph"))
+        save_mtx(g, mtx)
+        save_npz(g, npz)
+        save_edge_list(g, txt)
+        save_metis(g, metis)
+        base = sorted((a, b) for a, b in g.iter_edges() if a != b)
+        for loaded in (load_mtx(mtx), load_npz(npz), load_edge_list(txt)):
+            assert sorted((a, b) for a, b in loaded.iter_edges() if a != b) == base
+        assert sorted(load_metis(metis).iter_edges()) == base

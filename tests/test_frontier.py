@@ -1,0 +1,160 @@
+"""Unit tests for the sparse/dense frontier representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.frontier import DENSE_THRESHOLD, Frontier
+from repro.errors import EngineError
+
+
+class TestConstruction:
+    def test_requires_exactly_one_representation(self):
+        with pytest.raises(EngineError):
+            Frontier(10)
+        with pytest.raises(EngineError):
+            Frontier(10, ids=np.array([1]), mask=np.zeros(10, dtype=bool))
+
+    def test_ids_out_of_range(self):
+        with pytest.raises(EngineError, match="range"):
+            Frontier.from_ids(5, [7])
+        with pytest.raises(EngineError):
+            Frontier.from_ids(5, [-1])
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(EngineError, match="shape"):
+            Frontier.from_mask(5, np.zeros(4, dtype=bool))
+
+    def test_bad_threshold(self):
+        with pytest.raises(EngineError, match="threshold"):
+            Frontier.from_ids(5, [0], dense_threshold=0.0)
+
+    def test_duplicates_collapsed(self):
+        f = Frontier.from_ids(100, [3, 3, 5, 3])
+        assert f.size == 2
+        assert f.ids().tolist() == [3, 5]
+
+    def test_empty_and_all(self):
+        assert Frontier.empty(10).size == 0
+        assert not Frontier.empty(10)
+        full = Frontier.all_nodes(10)
+        assert full.size == 10
+        assert full.is_dense
+
+    def test_zero_node_graph(self):
+        f = Frontier.from_mask(0, np.zeros(0, dtype=bool))
+        assert f.size == 0
+        assert not f.is_dense
+
+
+class TestSwitching:
+    def test_small_set_stays_sparse(self):
+        f = Frontier.from_ids(1000, [1, 2, 3])
+        assert not f.is_dense
+
+    def test_large_set_goes_dense(self):
+        f = Frontier.from_ids(100, list(range(50)))
+        assert f.is_dense
+
+    def test_sparse_mask_input_switches_to_ids(self):
+        mask = np.zeros(1000, dtype=bool)
+        mask[7] = True
+        f = Frontier.from_mask(1000, mask)
+        assert not f.is_dense
+        assert f.ids().tolist() == [7]
+
+    def test_threshold_respected(self):
+        ids = list(range(10))  # 10% occupancy
+        loose = Frontier.from_ids(100, ids, dense_threshold=0.5)
+        tight = Frontier.from_ids(100, ids, dense_threshold=0.05)
+        assert not loose.is_dense
+        assert tight.is_dense
+
+    def test_representation_does_not_change_ids(self):
+        ids = [0, 10, 20, 30, 40]
+        sparse = Frontier.from_ids(1000, ids)
+        dense = Frontier.from_ids(50, ids)
+        assert sparse.ids().tolist() == dense.ids().tolist() == ids
+
+
+class TestQueries:
+    def test_mask_roundtrip(self):
+        f = Frontier.from_ids(10, [2, 4])
+        assert f.mask().tolist() == [
+            False, False, True, False, True, False, False, False, False, False
+        ]
+
+    def test_contains(self):
+        f = Frontier.from_ids(10, [2, 4])
+        assert f.contains(2) and not f.contains(3)
+        dense = Frontier.all_nodes(10)
+        assert dense.contains(9)
+
+    def test_len_and_bool(self):
+        f = Frontier.from_ids(10, [1])
+        assert len(f) == 1 and bool(f)
+
+    def test_repr(self):
+        assert "sparse" in repr(Frontier.from_ids(100, [1]))
+        assert "dense" in repr(Frontier.all_nodes(4))
+
+
+class TestUnion:
+    def test_sparse_union(self):
+        a = Frontier.from_ids(100, [1, 2])
+        b = Frontier.from_ids(100, [2, 3])
+        assert a.union(b).ids().tolist() == [1, 2, 3]
+
+    def test_mixed_union(self):
+        a = Frontier.from_ids(10, [1])
+        b = Frontier.all_nodes(10)
+        assert a.union(b).size == 10
+
+    def test_size_mismatch(self):
+        with pytest.raises(EngineError):
+            Frontier.from_ids(10, [1]).union(Frontier.from_ids(20, [1]))
+
+
+class TestEngineIntegration:
+    def test_bfs_reports_dense_iterations(self, powerlaw_symmetric, hub_source):
+        """Power-law BFS frontiers explode after one hop: the middle
+        levels should run dense."""
+        from repro.algorithms import bfs
+
+        result = bfs(powerlaw_symmetric, hub_source)
+        assert result.dense_iterations >= 1
+        assert result.dense_iterations <= result.num_iterations
+
+    def test_threshold_one_never_dense(self, powerlaw_symmetric, hub_source):
+        from repro.algorithms import bfs
+        from repro.engine.push import EngineOptions
+
+        result = bfs(powerlaw_symmetric, hub_source,
+                     options=EngineOptions(dense_threshold=1.0))
+        assert result.dense_iterations <= 1  # only a truly full frontier
+
+    def test_results_independent_of_threshold(self, powerlaw_graph, hub_source):
+        from repro.algorithms import sssp
+        from repro.engine.push import EngineOptions
+
+        a = sssp(powerlaw_graph, hub_source,
+                 options=EngineOptions(dense_threshold=0.001))
+        b = sssp(powerlaw_graph, hub_source,
+                 options=EngineOptions(dense_threshold=1.0))
+        assert np.allclose(a.values, b.values)
+        assert a.num_iterations == b.num_iterations
+
+
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=99), max_size=80),
+    threshold=st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_frontier_representation_invariant(ids, threshold):
+    """Property: ids()/mask()/size agree regardless of representation."""
+    f = Frontier.from_ids(100, ids, dense_threshold=threshold)
+    unique = sorted(set(ids))
+    assert f.ids().tolist() == unique
+    assert f.size == len(unique)
+    assert np.flatnonzero(f.mask()).tolist() == unique

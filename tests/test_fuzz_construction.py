@@ -1,0 +1,79 @@
+"""Fuzzing construction paths: invalid input never crashes, it raises.
+
+Library boundary robustness: arbitrary arrays fed to the CSR
+constructor and the builders must either produce a valid graph or
+raise :class:`~repro.errors.GraphError` — never an unrelated
+exception, never a corrupt graph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, TigrError
+from repro.graph.builder import deduplicate_edges, from_arrays, to_undirected
+from repro.graph.csr import CSRGraph
+
+
+@given(
+    offsets=st.lists(st.integers(min_value=-3, max_value=30), min_size=1, max_size=12),
+    targets=st.lists(st.integers(min_value=-2, max_value=15), max_size=25),
+)
+@settings(max_examples=200, deadline=None)
+def test_csr_constructor_validates_or_builds(offsets, targets):
+    offsets_arr = np.asarray(offsets, dtype=np.int64)
+    targets_arr = np.asarray(targets, dtype=np.int64)
+    try:
+        graph = CSRGraph(offsets_arr, targets_arr)
+    except GraphError:
+        return  # rejection is the contract
+    # accepted: the graph must be internally consistent
+    assert graph.num_nodes == len(offsets) - 1
+    assert graph.num_edges == len(targets)
+    degrees = graph.out_degrees()
+    assert degrees.sum() == graph.num_edges
+    assert (degrees >= 0).all()
+    for node in range(graph.num_nodes):
+        nbrs = graph.neighbors(node)
+        assert np.all((nbrs >= 0) & (nbrs < graph.num_nodes))
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(-2, 12), st.integers(-2, 12)), max_size=30
+    ),
+    num_nodes=st.one_of(st.none(), st.integers(min_value=-1, max_value=20)),
+)
+@settings(max_examples=200, deadline=None)
+def test_from_arrays_validates_or_builds(edges, num_nodes):
+    src = np.asarray([e[0] for e in edges], dtype=np.int64)
+    dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+    try:
+        graph = from_arrays(src, dst, num_nodes=num_nodes)
+    except TigrError:
+        return
+    assert graph.num_edges == len(edges)
+    # every input edge present
+    built = sorted(graph.iter_edges())
+    assert built == sorted((int(a), int(b)) for a, b in edges)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=25
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_to_undirected_always_symmetric(edges):
+    graph = from_arrays(
+        np.asarray([e[0] for e in edges], dtype=np.int64),
+        np.asarray([e[1] for e in edges], dtype=np.int64),
+        num_nodes=11,
+    )
+    sym = to_undirected(graph)
+    assert np.array_equal(sym.out_degrees(), sym.in_degrees())
+    forward = set(sym.iter_edges())
+    assert all((b, a) in forward for a, b in forward)
+    # dedup idempotence
+    assert deduplicate_edges(sym) == sym

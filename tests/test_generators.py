@@ -1,0 +1,220 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    configuration_power_law,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    regular_ring,
+    rmat,
+    star,
+)
+from repro.graph.stats import degree_stats
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat(100, 500, seed=1)
+        assert g.num_nodes == 100
+        assert 0 < g.num_edges <= 500
+
+    def test_deterministic(self):
+        assert rmat(100, 500, seed=1) == rmat(100, 500, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert rmat(100, 500, seed=1) != rmat(100, 500, seed=2)
+
+    def test_skewed_degrees(self):
+        g = rmat(512, 8000, seed=3)
+        stats = degree_stats(g)
+        assert stats.coefficient_of_variation > 1.0
+
+    def test_weights_in_range(self):
+        g = rmat(100, 500, seed=1, weight_range=(2, 5))
+        assert g.weights.min() >= 2 and g.weights.max() <= 5
+
+    def test_no_dedup_keeps_multiplicity(self):
+        g = rmat(16, 500, seed=1, dedup=False)
+        assert g.num_edges == 500
+
+    def test_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat(10, 10, a=0.9, b=0.2, c=0.2)
+
+    def test_bad_num_nodes(self):
+        with pytest.raises(GraphError):
+            rmat(0, 10)
+
+    def test_non_power_of_two_nodes(self):
+        g = rmat(100, 300, seed=5)
+        assert g.targets.max() < 100
+
+
+class TestBarabasiAlbert:
+    def test_symmetric(self):
+        g = barabasi_albert(60, 3, seed=1)
+        assert np.array_equal(g.out_degrees(), g.in_degrees())
+
+    def test_min_degree(self):
+        g = barabasi_albert(60, 3, seed=1)
+        assert g.out_degrees().min() >= 3
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(300, 2, seed=1)
+        assert g.max_out_degree() > 10
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        assert barabasi_albert(50, 2, seed=9) == barabasi_albert(50, 2, seed=9)
+
+
+class TestConfigurationPowerLaw:
+    def test_max_degree_respected_and_hit(self):
+        g = configuration_power_law(500, exponent=2.0, max_degree=80, seed=1)
+        # dedup/self-loop removal can shave a little off the pinned hub
+        assert 0.7 * 80 <= g.max_out_degree() <= 80
+
+    def test_target_edges_honored(self):
+        g = configuration_power_law(
+            1000, exponent=2.0, min_degree=2, max_degree=200,
+            target_edges=10_000, seed=1,
+        )
+        assert abs(g.num_edges - 10_000) / 10_000 < 0.25
+
+    def test_no_self_loops(self):
+        g = configuration_power_law(100, seed=2, max_degree=20)
+        src, dst, _ = g.to_coo()
+        assert not np.any(src == dst)
+
+    def test_bad_exponent(self):
+        with pytest.raises(GraphError):
+            configuration_power_law(10, exponent=0.5)
+
+    def test_min_over_max(self):
+        with pytest.raises(GraphError, match="exceeds"):
+            configuration_power_law(100, min_degree=50, max_degree=10)
+
+    def test_deterministic(self):
+        a = configuration_power_law(100, seed=5, max_degree=30)
+        b = configuration_power_law(100, seed=5, max_degree=30)
+        assert a == b
+
+
+class TestRegularFamily:
+    def test_grid_degrees(self):
+        g = grid_2d(5, 5)
+        degrees = g.out_degrees()
+        assert degrees.max() == 4
+        assert degrees.min() == 2  # corners
+
+    def test_grid_symmetric(self):
+        g = grid_2d(4, 6)
+        assert np.array_equal(g.out_degrees(), g.in_degrees())
+
+    def test_grid_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_2d(0, 5)
+
+    def test_ring_uniform_degree(self):
+        g = regular_ring(20, 3)
+        assert set(g.out_degrees().tolist()) == {3}
+
+    def test_ring_wraps(self):
+        g = regular_ring(5, 2)
+        assert g.has_edge(4, 0) and g.has_edge(4, 1)
+
+    def test_ring_bad_degree(self):
+        with pytest.raises(GraphError):
+            regular_ring(5, 5)
+
+    def test_erdos_renyi_roughly_uniform(self):
+        g = erdos_renyi(200, 3000, seed=1)
+        stats = degree_stats(g)
+        assert stats.coefficient_of_variation < 0.6
+
+    def test_erdos_renyi_bad_nodes(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(0, 5)
+
+
+class TestSimpleShapes:
+    def test_star_out_edges(self):
+        g = star(5)
+        assert g.out_degree(0) == 5
+        assert g.num_nodes == 6
+        assert g.out_degrees()[1:].sum() == 0
+
+    def test_star_bidirectional(self):
+        g = star(4, bidirectional=True)
+        assert g.out_degree(0) == 4
+        assert all(g.has_edge(i, 0) for i in range(1, 5))
+
+    def test_star_zero_leaves(self):
+        g = star(0)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+    def test_path(self):
+        g = path_graph(4)
+        assert list(g.iter_edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_path_single_node(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        assert set(g.out_degrees().tolist()) == {3}
+
+    def test_complete_weighted(self):
+        g = complete_graph(3, weight_range=(1, 2), seed=0)
+        assert g.is_weighted
+
+
+class TestWattsStrogatz:
+    def test_symmetric(self):
+        from repro.graph.generators import watts_strogatz
+
+        g = watts_strogatz(100, 4, 0.1, seed=1)
+        assert np.array_equal(g.out_degrees(), g.in_degrees())
+
+    def test_no_rewiring_is_ring_like(self):
+        from repro.graph.generators import watts_strogatz
+
+        g = watts_strogatz(30, 2, 0.0, seed=1)
+        # symmetrised ring: every node has degree 4
+        assert set(g.out_degrees().tolist()) == {4}
+
+    def test_small_world_diameter(self):
+        from repro.graph.generators import watts_strogatz
+        from repro.graph.stats import estimate_diameter
+
+        lattice = watts_strogatz(400, 3, 0.0, seed=2)
+        rewired = watts_strogatz(400, 3, 0.3, seed=2)
+        assert estimate_diameter(rewired, num_sources=6, seed=0) < \
+            estimate_diameter(lattice, num_sources=6, seed=0)
+
+    def test_near_uniform_degrees(self):
+        from repro.graph.generators import watts_strogatz
+        from repro.graph.stats import degree_stats
+
+        g = watts_strogatz(300, 4, 0.2, seed=3)
+        assert degree_stats(g).coefficient_of_variation < 0.5
+
+    def test_bad_parameters(self):
+        from repro.graph.generators import watts_strogatz
+
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 10, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 2, 1.5)

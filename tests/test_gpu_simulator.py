@@ -1,0 +1,171 @@
+"""Unit tests for the GPU cost model: config, memory, simulator, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.gpu.config import GPUConfig, KernelProfile
+from repro.gpu.memory import edge_transactions, value_transactions
+from repro.gpu.metrics import IterationMetrics, RunMetrics
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.warp import WorkTrace, warp_statistics
+
+
+def uniform_trace(threads=32, count=4):
+    return WorkTrace.uniform(threads, count)
+
+
+class TestGPUConfig:
+    def test_warp_slots(self):
+        assert GPUConfig(cores=896, warp_size=32).warp_slots == 28
+
+    def test_cycles_to_ms(self):
+        cfg = GPUConfig(clock_ghz=1.0)
+        assert cfg.cycles_to_ms(1e6) == pytest.approx(1.0)
+
+    def test_with_memory(self):
+        cfg = GPUConfig().with_memory(123)
+        assert cfg.device_memory_bytes == 123
+
+    def test_profile_scaled(self):
+        p = KernelProfile().scaled(cycles_per_step=99.0)
+        assert p.cycles_per_step == 99.0
+        assert p.cycles_per_thread == KernelProfile().cycles_per_thread
+
+
+class TestMemoryModel:
+    def test_edge_transactions_floor_is_steps(self):
+        # one active lane: gap clips to 128 -> per-edge factor 1,
+        # but at least one transaction per step either way
+        stats = warp_statistics(WorkTrace(
+            np.array([5]), np.array([0]), np.array([1])
+        ))
+        cfg = GPUConfig()
+        assert edge_transactions(stats, cfg)[0] == pytest.approx(5.0)
+
+    def test_coalesced_cheaper_than_strided(self):
+        cfg = GPUConfig()
+        coalesced = warp_statistics(WorkTrace(
+            np.full(32, 10), np.arange(32), np.full(32, 32)
+        ))
+        strided = warp_statistics(WorkTrace(
+            np.full(32, 10), np.arange(32) * 10, np.ones(32, dtype=np.int64)
+        ))
+        assert edge_transactions(coalesced, cfg)[0] < edge_transactions(strided, cfg)[0]
+
+    def test_value_transactions_scale_with_factor(self):
+        stats = warp_statistics(uniform_trace())
+        assert value_transactions(stats, KernelProfile(value_access_factor=2.0))[0] == \
+            pytest.approx(2 * value_transactions(stats, KernelProfile(value_access_factor=1.0))[0])
+
+
+class TestSimulator:
+    def test_check_memory_passes_under_budget(self):
+        GPUSimulator(GPUConfig()).check_memory(1024, "test")
+
+    def test_check_memory_raises(self):
+        sim = GPUSimulator(GPUConfig(device_memory_bytes=100))
+        with pytest.raises(DeviceOutOfMemoryError) as excinfo:
+            sim.check_memory(200, "a working set")
+        err = excinfo.value
+        assert err.required_bytes == 200
+        assert err.available_bytes == 100
+        assert "a working set" in str(err)
+
+    def test_record_iteration_accumulates(self):
+        sim = GPUSimulator()
+        sim.record_iteration(uniform_trace())
+        sim.record_iteration(uniform_trace())
+        metrics = sim.finish()
+        assert metrics.num_iterations == 2
+        assert metrics.total_edges_processed == 2 * 32 * 4
+
+    def test_empty_trace_costs_only_launch(self):
+        sim = GPUSimulator()
+        it = sim.record_iteration(WorkTrace(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        ))
+        assert it.cycles == sim.config.kernel_launch_cycles
+        assert it.edges_processed == 0
+
+    def test_makespan_includes_critical_warp(self):
+        """A single hub warp dominates even with idle device capacity.
+
+        Same total edge work either way: one warp where a hub lane
+        serialises 10,000 steps, versus the work spread evenly over
+        hundreds of one-step warps running concurrently.
+        """
+        skewed = WorkTrace(
+            np.array([10_000] + [1] * 31),
+            np.arange(32) * 10,
+            np.ones(32, dtype=np.int64),
+        )
+        balanced = WorkTrace.uniform(10_031, 1)
+        t_skewed = GPUSimulator().record_iteration(skewed).cycles
+        t_balanced = GPUSimulator().record_iteration(balanced).cycles
+        assert t_skewed > 5 * t_balanced
+
+    def test_launch_overhead_multiplier(self):
+        cfg = GPUConfig()
+        one = GPUSimulator(cfg, KernelProfile(launches_per_iteration=1))
+        three = GPUSimulator(cfg, KernelProfile(launches_per_iteration=3))
+        c1 = one.record_iteration(uniform_trace()).cycles
+        c3 = three.record_iteration(uniform_trace()).cycles
+        assert c3 - c1 == pytest.approx(2 * cfg.kernel_launch_cycles)
+
+    def test_record_uniform_iterations(self):
+        sim = GPUSimulator()
+        sim.record_uniform_iterations(uniform_trace(), 5)
+        metrics = sim.finish()
+        assert metrics.num_iterations == 5
+        times = [it.time_ms for it in metrics.iterations]
+        assert len(set(times)) == 1
+
+    def test_record_uniform_zero_reps(self):
+        sim = GPUSimulator()
+        sim.record_uniform_iterations(uniform_trace(), 0)
+        assert sim.finish().num_iterations == 0
+
+    def test_instruction_counting(self):
+        prof = KernelProfile(instructions_per_edge=10, instructions_per_thread=8)
+        sim = GPUSimulator(profile=prof)
+        it = sim.record_iteration(uniform_trace(threads=16, count=2))
+        assert it.instructions == pytest.approx(10 * 32 + 8 * 16)
+
+
+class TestRunMetrics:
+    def _iteration(self, i, time_ms=1.0, steps=10, eff=0.5):
+        return IterationMetrics(
+            iteration=i, num_threads=4, edges_processed=20, simd_steps=steps,
+            cycles=time_ms * 1e6, time_ms=time_ms, instructions=100.0,
+            edge_transactions=5.0, value_transactions=10.0, warp_efficiency=eff,
+        )
+
+    def test_totals(self):
+        m = RunMetrics()
+        m.add(self._iteration(0, time_ms=1.0))
+        m.add(self._iteration(1, time_ms=3.0))
+        assert m.total_time_ms == pytest.approx(4.0)
+        assert m.mean_time_per_iteration_ms == pytest.approx(2.0)
+        assert m.total_edges_processed == 40
+        assert m.total_transactions == pytest.approx(30.0)
+
+    def test_empty(self):
+        m = RunMetrics()
+        assert m.num_iterations == 0
+        assert m.warp_efficiency == 1.0
+        assert m.mean_time_per_iteration_ms == 0.0
+
+    def test_weighted_efficiency(self):
+        m = RunMetrics()
+        m.add(self._iteration(0, steps=10, eff=1.0))
+        m.add(self._iteration(1, steps=30, eff=0.5))
+        assert m.warp_efficiency == pytest.approx((10 * 1.0 + 30 * 0.5) / 40)
+
+    def test_summary_keys(self):
+        m = RunMetrics()
+        m.add(self._iteration(0))
+        summary = m.summary()
+        for key in ("iterations", "time_ms", "instructions", "warp_efficiency"):
+            assert key in summary

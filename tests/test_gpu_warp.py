@@ -1,0 +1,117 @@
+"""Unit tests for the warp-level SIMD accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.warp import WarpStats, WorkTrace, warp_statistics
+
+
+def trace(counts, starts=None, strides=None):
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts is None:
+        starts = np.cumsum(np.concatenate([[0], counts[:-1]])) if len(counts) else counts
+    starts = np.asarray(starts, dtype=np.int64)
+    if strides is None:
+        strides = np.ones(len(counts), dtype=np.int64)
+    return WorkTrace(counts, starts, np.asarray(strides, dtype=np.int64))
+
+
+class TestWorkTrace:
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(ValueError):
+            WorkTrace(np.array([1]), np.array([0, 1]), np.array([1]))
+
+    def test_total_edges(self):
+        assert trace([3, 0, 2]).total_edges == 5
+
+    def test_uniform_constructor(self):
+        t = WorkTrace.uniform(4, 3)
+        assert t.counts.tolist() == [3, 3, 3, 3]
+        assert t.starts.tolist() == [0, 3, 6, 9]
+
+    def test_empty(self):
+        t = trace([])
+        stats = warp_statistics(t)
+        assert stats.num_warps == 0
+        assert stats.warp_efficiency() == 1.0
+
+
+class TestWarpGrouping:
+    def test_single_full_warp(self):
+        stats = warp_statistics(trace([1] * 32))
+        assert stats.num_warps == 1
+        assert stats.steps.tolist() == [1]
+        assert stats.edges.tolist() == [32]
+
+    def test_partial_warp(self):
+        stats = warp_statistics(trace([1] * 40))
+        assert stats.num_warps == 2
+        assert stats.launched_lanes.tolist() == [32, 8]
+
+    def test_steps_are_max_lane(self):
+        """SIMD lock-step: the warp advances at its slowest lane's pace."""
+        counts = [1] * 31 + [100]
+        stats = warp_statistics(trace(counts))
+        assert stats.steps.tolist() == [100]
+        assert stats.edges.tolist() == [131]
+
+    def test_active_lanes(self):
+        stats = warp_statistics(trace([0, 2, 0, 3]))
+        assert stats.active_lanes.tolist() == [2]
+
+
+class TestWarpEfficiency:
+    def test_uniform_is_perfect(self):
+        stats = warp_statistics(trace([4] * 32))
+        assert stats.warp_efficiency() == pytest.approx(1.0)
+
+    def test_hub_destroys_efficiency(self):
+        """One 1000-edge lane among 31 single-edge lanes: §2.3's problem."""
+        stats = warp_statistics(trace([1] * 31 + [1000]))
+        assert stats.warp_efficiency() < 0.05
+
+    def test_no_work_reports_one(self):
+        stats = warp_statistics(trace([0, 0]))
+        assert stats.warp_efficiency() == 1.0
+
+    def test_matches_formula(self):
+        counts = [2, 8, 1, 5]
+        stats = warp_statistics(trace(counts))
+        assert stats.warp_efficiency() == pytest.approx(sum(counts) / (8 * 32))
+
+
+class TestGapModel:
+    def test_adjacent_lanes_fully_coalesced(self):
+        # 32 lanes, one slot each, consecutive: gap = word size
+        stats = warp_statistics(trace([1] * 32, starts=list(range(32))))
+        assert stats.gap_bytes[0] == pytest.approx(8.0)
+
+    def test_strided_lanes_partially_coalesced(self):
+        # starts K=10 apart: gap = 80 bytes
+        starts = [i * 10 for i in range(32)]
+        stats = warp_statistics(trace([10] * 32, starts=starts))
+        assert stats.gap_bytes[0] == pytest.approx(80.0)
+
+    def test_far_lanes_clip_at_transaction(self):
+        starts = [i * 1000 for i in range(32)]
+        stats = warp_statistics(trace([5] * 32, starts=starts))
+        assert stats.gap_bytes[0] == pytest.approx(128.0)
+
+    def test_single_active_lane_uncoalesced(self):
+        stats = warp_statistics(trace([7] + [0] * 31, starts=[0] + [0] * 31))
+        assert stats.gap_bytes[0] == pytest.approx(128.0)
+
+    def test_inactive_lanes_ignored_in_gap(self):
+        counts = [1, 0] * 16
+        starts = list(range(32))
+        stats = warp_statistics(trace(counts, starts=starts))
+        # no consecutive ACTIVE pair -> default gap
+        assert stats.gap_bytes[0] == pytest.approx(128.0)
+
+    def test_coalesced_virtual_layout_beats_default(self):
+        """The whole point of Figure 12: siblings' starts adjacent."""
+        coalesced = warp_statistics(trace([10] * 32, starts=list(range(32))))
+        default = warp_statistics(
+            trace([10] * 32, starts=[i * 10 for i in range(32)])
+        )
+        assert coalesced.gap_bytes[0] < default.gap_bytes[0]

@@ -1,0 +1,195 @@
+"""Tests for the hardwired primitives and their method wrappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.hardwired import (
+    delta_stepping_sssp,
+    direction_optimizing_bfs,
+    gas_pagerank,
+    pointer_jumping_cc,
+)
+from repro.algorithms.reference import (
+    reference_bfs,
+    reference_connected_components,
+    reference_pagerank,
+    reference_sssp,
+)
+from repro.baselines.hardwired import hardwired_methods
+from repro.errors import EngineError
+from repro.gpu.simulator import GPUSimulator
+from repro.graph.builder import from_edge_list, to_undirected
+from repro.graph.generators import path_graph, rmat, star
+
+
+class TestDirectionOptimizingBFS:
+    def test_matches_reference(self, powerlaw_unweighted, hub_source):
+        ref = reference_bfs(powerlaw_unweighted, hub_source)
+        result = direction_optimizing_bfs(powerlaw_unweighted, hub_source)
+        assert np.allclose(result.values, ref, equal_nan=True)
+
+    def test_switches_to_bottom_up_on_dense_frontier(self):
+        # star with reciprocal edges: the level-1 frontier owns all edges
+        g = star(200, bidirectional=True)
+        result = direction_optimizing_bfs(g, 0)
+        assert result.notes["bottom_up_levels"] >= 1
+        assert np.allclose(result.values[1:], 1.0)
+
+    def test_pure_top_down_with_tiny_alpha(self):
+        # Beamer's switch fires when frontier_edges > remaining/alpha,
+        # so alpha -> 0 disables bottom-up entirely.
+        g = path_graph(30)
+        result = direction_optimizing_bfs(g, 0, alpha=1e-9)
+        assert result.notes["bottom_up_levels"] == 0
+        assert result.values[-1] == 29
+
+    def test_bottom_up_early_exit_saves_edges(self, powerlaw_symmetric, hub_source):
+        """The point of bottom-up: far fewer edges examined than the
+        full edge set on dense levels."""
+        eager = direction_optimizing_bfs(powerlaw_symmetric, hub_source, alpha=100.0)
+        classic = direction_optimizing_bfs(powerlaw_symmetric, hub_source, alpha=1e-9)
+        assert np.allclose(eager.values, classic.values, equal_nan=True)
+        assert eager.edges_processed < classic.edges_processed
+
+    def test_bad_source(self, powerlaw_unweighted):
+        with pytest.raises(EngineError):
+            direction_optimizing_bfs(powerlaw_unweighted, -1)
+
+    def test_simulator_records_levels(self, powerlaw_unweighted, hub_source):
+        sim = GPUSimulator()
+        result = direction_optimizing_bfs(powerlaw_unweighted, hub_source, simulator=sim)
+        assert result.metrics.num_iterations == result.num_iterations
+
+
+class TestDeltaStepping:
+    def test_matches_dijkstra(self, powerlaw_graph, hub_source):
+        ref = reference_sssp(powerlaw_graph, hub_source)
+        result = delta_stepping_sssp(powerlaw_graph, hub_source)
+        assert np.allclose(result.values, ref)
+
+    @pytest.mark.parametrize("delta", [0.5, 2.0, 16.0, 1000.0])
+    def test_any_delta_is_correct(self, powerlaw_graph, hub_source, delta):
+        ref = reference_sssp(powerlaw_graph, hub_source)
+        result = delta_stepping_sssp(powerlaw_graph, hub_source, delta=delta)
+        assert np.allclose(result.values, ref)
+        assert result.notes["delta"] == delta
+
+    def test_huge_delta_is_bellman_ford_like(self, powerlaw_graph, hub_source):
+        """delta -> inf degenerates to one bucket (more re-relaxation)."""
+        fine = delta_stepping_sssp(powerlaw_graph, hub_source, delta=2.0)
+        coarse = delta_stepping_sssp(powerlaw_graph, hub_source, delta=1e9)
+        assert np.allclose(fine.values, coarse.values)
+
+    def test_requires_weights(self, powerlaw_unweighted, hub_source):
+        with pytest.raises(EngineError, match="weights"):
+            delta_stepping_sssp(powerlaw_unweighted, hub_source)
+
+    def test_bad_delta(self, powerlaw_graph, hub_source):
+        with pytest.raises(EngineError, match="delta"):
+            delta_stepping_sssp(powerlaw_graph, hub_source, delta=0.0)
+
+    def test_negative_weight_rejected(self):
+        g = from_edge_list([(0, 1, -1.0)])
+        with pytest.raises(EngineError, match="non-negative"):
+            delta_stepping_sssp(g, 0)
+
+
+class TestPointerJumpingCC:
+    def test_matches_union_find(self, powerlaw_symmetric):
+        ref = reference_connected_components(powerlaw_symmetric)
+        result = pointer_jumping_cc(powerlaw_symmetric)
+        assert np.array_equal(result.values.astype(np.int64), ref)
+
+    def test_logarithmic_rounds_vs_diameter(self):
+        """On a long path, label propagation needs O(n) rounds; pointer
+        jumping needs O(log n) — the structural ECL-CC advantage."""
+        from repro.algorithms import connected_components
+
+        g = to_undirected(path_graph(256))
+        propagation = connected_components(g)
+        jumping = pointer_jumping_cc(g)
+        assert np.array_equal(
+            jumping.values.astype(np.int64),
+            propagation.values.astype(np.int64),
+        )
+        assert jumping.num_iterations < propagation.num_iterations / 5
+
+    def test_singletons(self):
+        g = from_edge_list([], num_nodes=5)
+        result = pointer_jumping_cc(g)
+        assert result.values.astype(np.int64).tolist() == [0, 1, 2, 3, 4]
+
+
+class TestGASPageRank:
+    def test_matches_reference(self, powerlaw_unweighted):
+        ref = reference_pagerank(powerlaw_unweighted, tolerance=1e-12)
+        result = gas_pagerank(powerlaw_unweighted, tolerance=1e-12)
+        assert np.allclose(result.values, ref, atol=1e-9)
+
+    def test_empty(self):
+        assert gas_pagerank(from_edge_list([], num_nodes=0)).values.shape == (0,)
+
+    def test_iterations_match_push_pr(self, powerlaw_unweighted):
+        from repro.algorithms import pagerank
+
+        push = pagerank(powerlaw_unweighted, tolerance=1e-12)
+        gas = gas_pagerank(powerlaw_unweighted, tolerance=1e-12)
+        assert gas.num_iterations == push.num_iterations
+
+
+class TestMethodWrappers:
+    def test_each_supports_exactly_its_algorithm(self):
+        expectations = {
+            "do-bfs": "bfs", "delta-sssp": "sssp", "ecl-cc": "cc", "gas-pr": "pr",
+        }
+        for method in hardwired_methods():
+            target = expectations[method.name]
+            for algorithm in ("bfs", "sssp", "sswp", "cc", "bc", "pr"):
+                assert method.supports(algorithm) == (algorithm == target)
+
+    def test_results_correct_through_wrapper(self):
+        graph = rmat(200, 2000, seed=31, weight_range=(1, 8))
+        source = int(np.argmax(graph.out_degrees()))
+        refs = {
+            "do-bfs": reference_bfs(graph.without_weights(), source),
+            "delta-sssp": reference_sssp(graph, source),
+            "ecl-cc": reference_connected_components(
+                to_undirected(graph.without_weights())
+            ),
+            "gas-pr": reference_pagerank(graph.without_weights()),
+        }
+        for method in hardwired_methods():
+            result = method.run(graph, method.algorithm, source)
+            assert not result.oom
+            if method.name == "ecl-cc":
+                assert np.array_equal(result.values.astype(np.int64), refs[method.name])
+            elif method.name == "gas-pr":
+                assert np.allclose(result.values, refs[method.name], atol=1e-6)
+            else:
+                assert np.allclose(result.values, refs[method.name], equal_nan=True)
+
+    def test_footprints_positive(self, powerlaw_graph):
+        for method in hardwired_methods():
+            assert method.footprint(powerlaw_graph, method.algorithm) > 0
+
+
+@given(seed=st.integers(min_value=0, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_delta_stepping_random_graphs(seed):
+    """Property: Δ-stepping equals Dijkstra on arbitrary graphs."""
+    graph = rmat(50, 400, seed=seed, weight_range=(1, 20))
+    source = int(np.argmax(graph.out_degrees()))
+    result = delta_stepping_sssp(graph, source)
+    assert np.allclose(result.values, reference_sssp(graph, source))
+
+
+@given(seed=st.integers(min_value=0, max_value=40), alpha=st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=20, deadline=None)
+def test_do_bfs_random_graphs(seed, alpha):
+    """Property: direction switching never changes BFS results."""
+    graph = rmat(50, 400, seed=seed)
+    source = int(np.argmax(graph.out_degrees()))
+    result = direction_optimizing_bfs(graph, source, alpha=alpha)
+    assert np.allclose(result.values, reference_bfs(graph, source), equal_nan=True)

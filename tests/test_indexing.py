@@ -1,0 +1,97 @@
+"""Unit + property tests for the ragged-range indexing primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexing import ranges_to_indices, segment_ids, strided_ranges_to_indices
+
+
+class TestRangesToIndices:
+    def test_basic(self):
+        out = ranges_to_indices(np.array([3, 10]), np.array([2, 3]))
+        assert out.tolist() == [3, 4, 10, 11, 12]
+
+    def test_zero_counts_skipped(self):
+        out = ranges_to_indices(np.array([3, 7, 10]), np.array([2, 0, 1]))
+        assert out.tolist() == [3, 4, 10]
+
+    def test_all_zero(self):
+        out = ranges_to_indices(np.array([3, 7]), np.array([0, 0]))
+        assert out.tolist() == []
+
+    def test_empty(self):
+        assert ranges_to_indices(np.array([]), np.array([])).tolist() == []
+
+    def test_single_range(self):
+        assert ranges_to_indices(np.array([5]), np.array([4])).tolist() == [5, 6, 7, 8]
+
+    def test_overlapping_ranges_allowed(self):
+        out = ranges_to_indices(np.array([0, 0]), np.array([2, 2]))
+        assert out.tolist() == [0, 1, 0, 1]
+
+
+class TestStrided:
+    def test_stride_two(self):
+        out = strided_ranges_to_indices(np.array([0]), np.array([3]), np.array([2]))
+        assert out.tolist() == [0, 2, 4]
+
+    def test_mixed_strides(self):
+        out = strided_ranges_to_indices(
+            np.array([0, 100]), np.array([3, 2]), np.array([2, 5])
+        )
+        assert out.tolist() == [0, 2, 4, 100, 105]
+
+    def test_none_strides_unit(self):
+        out = strided_ranges_to_indices(np.array([1]), np.array([3]), None)
+        assert out.tolist() == [1, 2, 3]
+
+    def test_leading_zero_count(self):
+        out = strided_ranges_to_indices(
+            np.array([9, 0]), np.array([0, 2]), np.array([1, 3])
+        )
+        assert out.tolist() == [0, 3]
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        assert segment_ids(np.array([2, 0, 3])).tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty(self):
+        assert segment_ids(np.array([], dtype=np.int64)).tolist() == []
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),   # start
+            st.integers(min_value=0, max_value=20),     # count
+            st.integers(min_value=1, max_value=7),      # stride
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_strided_matches_naive(triples):
+    """Property: the vectorised expansion equals the obvious loop."""
+    starts = np.array([t[0] for t in triples], dtype=np.int64)
+    counts = np.array([t[1] for t in triples], dtype=np.int64)
+    strides = np.array([t[2] for t in triples], dtype=np.int64)
+    expected = []
+    for s, c, step in triples:
+        expected.extend(s + step * i for i in range(c))
+    got = strided_ranges_to_indices(starts, counts, strides)
+    assert got.tolist() == expected
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), max_size=25)
+)
+@settings(max_examples=100, deadline=None)
+def test_segment_ids_parallel_to_expansion(counts):
+    """Property: segment_ids marks each expanded slot's range."""
+    counts_arr = np.array(counts, dtype=np.int64)
+    seg = segment_ids(counts_arr)
+    assert len(seg) == counts_arr.sum()
+    expected = [i for i, c in enumerate(counts) for _ in range(c)]
+    assert seg.tolist() == expected

@@ -1,0 +1,180 @@
+"""End-to-end integration: every execution path agrees on every analytic.
+
+The strongest correctness statement the library can make: for each of
+the six analytics, *all* of these produce identical answers on the
+same dataset —
+
+* the sequential reference oracle,
+* the node-scheduled push engine (worklist on and off),
+* the virtual engines (default and coalesced layouts),
+* the physically transformed graph (where supported),
+* MW sub-warp and edge-parallel scheduling,
+* the G-Shards compute pass (where applicable),
+* the hardwired primitive (where one exists),
+* every Table 2 framework model via the Method interface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bc, bfs, connected_components, pagerank, sssp, sswp
+from repro.algorithms.hardwired import (
+    delta_stepping_sssp,
+    direction_optimizing_bfs,
+    gas_pagerank,
+    pointer_jumping_cc,
+)
+from repro.algorithms.programs import CCProgram, SSSPProgram
+from repro.algorithms.reference import (
+    reference_bc,
+    reference_bfs,
+    reference_connected_components,
+    reference_pagerank,
+    reference_sssp,
+    reference_sswp,
+)
+from repro.baselines import standard_methods
+from repro.baselines.cusha_shards import GShards
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.core.weights import DumbWeight
+from repro.engine.push import EngineOptions
+from repro.engine.schedule import EdgeParallelScheduler, MaxWarpScheduler
+from repro.graph.builder import to_undirected
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("pokec", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def source(dataset):
+    return int(np.argmax(dataset.out_degrees()))
+
+
+class TestSSSPAllPaths:
+    def test_everything_agrees(self, dataset, source):
+        ref = reference_sssp(dataset, source)
+
+        assert np.allclose(sssp(dataset, source).values, ref)
+        assert np.allclose(
+            sssp(dataset, source, options=EngineOptions(worklist=False)).values, ref
+        )
+        for coalesced in (False, True):
+            virtual = virtual_transform(dataset, 10, coalesced=coalesced)
+            assert np.allclose(sssp(virtual, source).values, ref)
+        physical = udt_transform(dataset, 8, dumb_weight=DumbWeight.ZERO)
+        assert np.allclose(
+            physical.read_values(sssp(physical.graph, source).values), ref
+        )
+        assert np.allclose(sssp(MaxWarpScheduler(dataset, 8), source).values, ref)
+        assert np.allclose(sssp(EdgeParallelScheduler(dataset), source).values, ref)
+        shard_values, _ = GShards.from_graph(dataset, 64).run_program(
+            SSSPProgram(), source
+        )
+        assert np.allclose(shard_values, ref)
+        assert np.allclose(delta_stepping_sssp(dataset, source).values, ref)
+
+
+class TestBFSAllPaths:
+    def test_everything_agrees(self, dataset, source):
+        g = dataset.without_weights()
+        ref = reference_bfs(g, source)
+        assert np.allclose(bfs(g, source).values, ref, equal_nan=True)
+        assert np.allclose(
+            bfs(virtual_transform(g, 10, coalesced=True), source).values,
+            ref, equal_nan=True,
+        )
+        assert np.allclose(
+            direction_optimizing_bfs(g, source).values, ref, equal_nan=True
+        )
+
+
+class TestCCAllPaths:
+    def test_everything_agrees(self, dataset):
+        g = to_undirected(dataset.without_weights())
+        ref = reference_connected_components(g)
+        assert np.array_equal(
+            connected_components(g).values.astype(np.int64), ref
+        )
+        assert np.array_equal(
+            connected_components(virtual_transform(g, 10)).values.astype(np.int64),
+            ref,
+        )
+        physical = udt_transform(g, 8, dumb_weight=DumbWeight.NONE)
+        assert np.array_equal(
+            physical.read_values(
+                connected_components(physical.graph).values
+            ).astype(np.int64),
+            ref,
+        )
+        assert np.array_equal(
+            pointer_jumping_cc(g).values.astype(np.int64), ref
+        )
+        shard_values, _ = GShards.from_graph(g, 64).run_program(CCProgram(), None)
+        assert np.array_equal(shard_values.astype(np.int64), ref)
+
+
+class TestRemainingAnalytics:
+    def test_sswp(self, dataset, source):
+        ref = reference_sswp(dataset, source)
+        assert np.allclose(sswp(dataset, source).values, ref)
+        assert np.allclose(
+            sswp(virtual_transform(dataset, 10, coalesced=True), source).values, ref
+        )
+        physical = udt_transform(dataset, 8, dumb_weight=DumbWeight.INFINITY)
+        assert np.allclose(
+            physical.read_values(sswp(physical.graph, source).values), ref
+        )
+
+    def test_bc(self, dataset, source):
+        g = dataset.without_weights()
+        ref = reference_bc(g, source)
+        assert np.allclose(bc(g, source).centrality, ref)
+        assert np.allclose(
+            bc(virtual_transform(g, 10, coalesced=True), source).centrality, ref
+        )
+
+    def test_pagerank(self, dataset):
+        g = dataset.without_weights()
+        ref = reference_pagerank(g, tolerance=1e-12)
+        assert np.allclose(pagerank(g, tolerance=1e-12).values, ref, atol=1e-9)
+        assert np.allclose(
+            pagerank(virtual_transform(g, 10), tolerance=1e-12).values,
+            ref, atol=1e-9,
+        )
+        assert np.allclose(
+            gas_pagerank(g, tolerance=1e-12).values, ref, atol=1e-9
+        )
+
+
+class TestMethodMatrixOnDataset:
+    """The full Table 2 line-up yields reference answers on a real
+    stand-in dataset (not just the synthetic unit-test graph)."""
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "sssp", "sswp", "cc", "bc", "pr"])
+    def test_all_methods(self, dataset, source, algorithm):
+        refs = {
+            "bfs": lambda: reference_bfs(dataset.without_weights(), source),
+            "sssp": lambda: reference_sssp(dataset, source),
+            "sswp": lambda: reference_sswp(dataset, source),
+            "cc": lambda: reference_connected_components(
+                to_undirected(dataset.without_weights())
+            ),
+            "bc": lambda: reference_bc(dataset.without_weights(), source),
+            "pr": lambda: reference_pagerank(dataset.without_weights()),
+        }
+        ref = refs[algorithm]()
+        for method in standard_methods(k_udt=8, k_v=10):
+            if not method.supports(algorithm):
+                continue
+            result = method.run(dataset, algorithm, source)
+            assert not result.oom, method.name
+            if algorithm == "cc":
+                assert np.array_equal(result.values.astype(np.int64), ref), method.name
+            elif algorithm == "pr":
+                assert np.allclose(result.values, ref, atol=1e-6), method.name
+            else:
+                assert np.allclose(result.values, ref, equal_nan=True), method.name

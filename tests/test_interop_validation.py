@@ -1,0 +1,125 @@
+"""Interop bridges + independent third-party validation.
+
+The strongest external check available offline: this library's
+engines (including Tigr-scheduled runs) against NetworkX's and
+SciPy's own implementations — oracles nobody in this repository
+wrote.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import connected_components as scipy_cc
+from scipy.sparse.csgraph import dijkstra as scipy_dijkstra
+
+from repro.algorithms import bc, connected_components, pagerank, sssp
+from repro.core.virtual import virtual_transform
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list, to_undirected
+from repro.graph.generators import rmat
+from repro.graph.interop import from_networkx, from_scipy, to_networkx, to_scipy_csr
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(150, 1200, seed=91, weight_range=(1, 9))
+
+
+@pytest.fixture(scope="module")
+def source(graph):
+    return int(np.argmax(graph.out_degrees()))
+
+
+class TestBridges:
+    def test_networkx_roundtrip(self, graph):
+        nxg = to_networkx(graph)
+        back = from_networkx(nxg)
+        # parallel edges collapse with min weight; sssp results survive
+        assert back.num_nodes == graph.num_nodes
+        assert nxg.number_of_edges() == back.num_edges
+
+    def test_networkx_undirected_expansion(self):
+        nxg = nx.Graph([(0, 1), (1, 2)])
+        g = from_networkx(nxg, weight_attr=None)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.is_weighted
+
+    def test_networkx_bad_labels(self):
+        nxg = nx.DiGraph([("a", "b")])
+        with pytest.raises(GraphError, match="labels"):
+            from_networkx(nxg)
+
+    def test_scipy_roundtrip(self, graph):
+        matrix = to_scipy_csr(graph)
+        assert matrix.shape == (graph.num_nodes, graph.num_nodes)
+        back = from_scipy(matrix)
+        assert back.num_nodes == graph.num_nodes
+        assert back.num_edges == graph.num_edges
+
+    def test_scipy_rejects_rectangular(self):
+        from scipy.sparse import csr_matrix
+
+        with pytest.raises(GraphError, match="square"):
+            from_scipy(csr_matrix((2, 3)))
+
+    def test_scipy_unweighted(self, graph):
+        back = from_scipy(to_scipy_csr(graph), weighted=False)
+        assert not back.is_weighted
+
+
+class TestThirdPartyOracles:
+    def test_sssp_vs_scipy_dijkstra(self, graph, source):
+        ours = sssp(virtual_transform(graph, 10, coalesced=True), source).values
+        theirs = scipy_dijkstra(to_scipy_csr(graph), indices=source)
+        assert np.allclose(ours, theirs, equal_nan=True)
+
+    def test_sssp_vs_networkx(self, graph, source):
+        ours = sssp(graph, source).values
+        lengths = nx.single_source_dijkstra_path_length(
+            to_networkx(graph), source, weight="weight"
+        )
+        for node, dist in lengths.items():
+            assert ours[node] == pytest.approx(dist)
+        unreached = set(range(graph.num_nodes)) - set(lengths)
+        assert all(np.isinf(ours[list(unreached)])) if unreached else True
+
+    def test_cc_vs_scipy(self, graph):
+        und = to_undirected(graph.without_weights())
+        ours = connected_components(und).values.astype(np.int64)
+        count, labels = scipy_cc(to_scipy_csr(und), directed=False)
+        # same partition (labels differ; compare as partitions)
+        assert len(set(ours.tolist())) == count
+        pairs = {}
+        for our_label, their_label in zip(ours, labels):
+            assert pairs.setdefault(int(our_label), int(their_label)) == their_label
+
+    def test_pagerank_vs_networkx(self, graph):
+        g = graph.without_weights()
+        ours = pagerank(virtual_transform(g, 10), tolerance=1e-12).values
+        theirs = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-12,
+                             max_iter=200, weight=None)
+        for node, rank in theirs.items():
+            assert ours[node] == pytest.approx(rank, abs=2e-4)
+
+    def test_bc_vs_networkx_single_source(self):
+        # small unweighted graph; networkx betweenness_centrality_subset
+        # with one source, unnormalised, matches Brandes dependencies
+        g = rmat(60, 400, seed=17)
+        source = int(np.argmax(g.out_degrees()))
+        ours = bc(g, source).centrality
+        nxg = to_networkx(g)
+        theirs = nx.betweenness_centrality_subset(
+            nxg, sources=[source], targets=list(nxg.nodes()), normalized=False
+        )
+        for node, score in theirs.items():
+            if node == source:
+                continue
+            assert ours[node] == pytest.approx(score, abs=1e-9), node
+
+    def test_triangles_vs_networkx(self):
+        from repro.algorithms.neighborhood import triangle_count
+
+        g = to_undirected(rmat(60, 500, seed=19))
+        ours = triangle_count(g)
+        theirs = sum(nx.triangles(to_networkx(g).to_undirected()).values()) // 3
+        assert ours == theirs

@@ -1,0 +1,93 @@
+"""Unit tests for edge-list and npz I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import rmat
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeListText:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        g2 = load_edge_list(path)
+        assert g2 == g
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = rmat(40, 200, seed=2, weight_range=(1, 9))
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        g2 = load_edge_list(path, num_nodes=g.num_nodes)
+        assert np.array_equal(g2.targets, g.targets)
+        assert np.allclose(g2.weights, g.weights)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_header_written(self, tmp_path):
+        g = from_edge_list([(0, 1)])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path, header="my graph\nline two")
+        text = path.read_text()
+        assert text.startswith("# my graph\n# line two\n")
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError, match="columns"):
+            load_edge_list(path)
+
+    def test_inconsistent_arity(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1 2.0\n")
+        with pytest.raises(GraphError, match="inconsistent"):
+            load_edge_list(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_isolated_tail_nodes_via_num_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, num_nodes=7)
+        assert g.num_nodes == 7
+
+
+class TestNpz:
+    def test_roundtrip_weighted(self, tmp_path):
+        g = rmat(50, 300, seed=4, weight_range=(1, 5))
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = rmat(50, 300, seed=4)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2 == g
+        assert not g2.is_weighted
+
+
+class TestEdgeCases:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n")
+        g = load_edge_list(path)
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+    def test_empty_file_with_num_nodes(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        g = load_edge_list(path, num_nodes=4)
+        assert g.num_nodes == 4

@@ -1,0 +1,171 @@
+"""Tests for path reconstruction and subgraph extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import sssp
+from repro.algorithms.paths import (
+    path_length,
+    reconstruct_path,
+    shortest_path_tree_edges,
+)
+from repro.algorithms.reference import reference_sssp
+from repro.errors import EngineError, GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import path_graph, rmat, star
+from repro.graph.subgraph import ego_network, induced_subgraph, traversal_subgraph
+
+
+class TestReconstructPath:
+    def test_figure2_path(self, figure2_graph):
+        dist = reference_sssp(figure2_graph, 0)
+        path = reconstruct_path(figure2_graph, dist, 0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert path_length(figure2_graph, path) == dist[3] == 3.0
+        assert path == [0, 1, 3]
+
+    def test_trivial_path(self, figure2_graph):
+        dist = reference_sssp(figure2_graph, 0)
+        assert reconstruct_path(figure2_graph, dist, 0, 0) == [0]
+
+    def test_unreachable_target(self):
+        g = from_edge_list([(0, 1, 1.0)], num_nodes=3)
+        dist = reference_sssp(g, 0)
+        with pytest.raises(EngineError, match="unreachable"):
+            reconstruct_path(g, dist, 0, 2)
+
+    def test_wrong_source_array(self, figure2_graph):
+        dist = reference_sssp(figure2_graph, 1)
+        with pytest.raises(EngineError, match="source"):
+            reconstruct_path(figure2_graph, dist, 0, 3)
+
+    def test_out_of_range(self, figure2_graph):
+        dist = reference_sssp(figure2_graph, 0)
+        with pytest.raises(EngineError):
+            reconstruct_path(figure2_graph, dist, 0, 99)
+
+    def test_path_length_validates_edges(self, figure2_graph):
+        with pytest.raises(EngineError, match="not an edge"):
+            path_length(figure2_graph, [0, 3])
+
+    def test_deterministic_tie_break(self):
+        # two equal-cost routes 0->1->3 and 0->2->3: pick min id pred
+        g = from_edge_list([(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)])
+        dist = reference_sssp(g, 0)
+        assert reconstruct_path(g, dist, 0, 3) == [0, 1, 3]
+
+
+class TestShortestPathTree:
+    def test_tight_edges_on_figure2(self, figure2_graph):
+        dist = reference_sssp(figure2_graph, 0)
+        tight = shortest_path_tree_edges(figure2_graph, dist)
+        src = figure2_graph.edge_sources()
+        # (1,2) has weight 4 but dist[2]=2: not tight
+        for slot in range(figure2_graph.num_edges):
+            u, v = int(src[slot]), int(figure2_graph.targets[slot])
+            w = float(figure2_graph.weights[slot])
+            assert tight[slot] == (dist[u] + w == dist[v])
+
+    def test_every_reached_node_has_tight_in_edge(self, powerlaw_graph, hub_source):
+        dist = reference_sssp(powerlaw_graph, hub_source)
+        tight = shortest_path_tree_edges(powerlaw_graph, dist)
+        dst = powerlaw_graph.targets
+        covered = set(dst[tight].tolist())
+        reached = set(np.flatnonzero(np.isfinite(dist)).tolist()) - {hub_source}
+        assert reached <= covered
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = induced_subgraph(g, [0, 1, 2])
+        assert sub.graph.num_nodes == 3
+        assert sorted(sub.graph.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_id_mapping(self):
+        g = from_edge_list([(2, 5, 7.0)], num_nodes=6)
+        sub = induced_subgraph(g, [5, 2])
+        assert sub.nodes.tolist() == [2, 5]
+        assert sub.local_id(5) == 1
+        assert sub.graph.has_edge(0, 1)
+        assert sub.graph.weights[0] == 7.0
+
+    def test_missing_node_lookup(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(GraphError):
+            induced_subgraph(g, [0]).local_id(1)
+
+    def test_out_of_range_nodes(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(GraphError):
+            induced_subgraph(g, [5])
+
+    def test_lift_values(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        sub = induced_subgraph(g, [1, 3])
+        lifted = sub.lift_values(np.array([10.0, 30.0]), g.num_nodes)
+        assert lifted[1] == 10.0 and lifted[3] == 30.0
+        assert np.isnan(lifted[0])
+
+
+class TestEgoNetwork:
+    def test_radius_zero(self, powerlaw_graph):
+        ego = ego_network(powerlaw_graph, 5, radius=0)
+        assert ego.nodes.tolist() == [5]
+
+    def test_star_center(self):
+        g = star(6)
+        ego = ego_network(g, 0, radius=1)
+        assert len(ego.nodes) == 7
+
+    def test_star_leaf_directed_vs_undirected(self):
+        g = star(6)
+        directed = ego_network(g, 1, radius=1)
+        assert directed.nodes.tolist() == [1]  # leaves have no out-edges
+        undirected = ego_network(g, 1, radius=1, undirected=True)
+        assert 0 in undirected.nodes.tolist()
+
+    def test_radius_grows_monotonically(self, powerlaw_symmetric, hub_source):
+        sizes = [
+            len(ego_network(powerlaw_symmetric, hub_source, radius=r).nodes)
+            for r in (0, 1, 2)
+        ]
+        assert sizes[0] < sizes[1] <= sizes[2]
+
+    def test_bad_arguments(self, powerlaw_graph):
+        with pytest.raises(GraphError):
+            ego_network(powerlaw_graph, -1)
+        with pytest.raises(GraphError):
+            ego_network(powerlaw_graph, 0, radius=-2)
+
+
+class TestTraversalSubgraph:
+    def test_reached_region(self):
+        g = from_edge_list([(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)], num_nodes=5)
+        dist = reference_sssp(g, 0)
+        sub, local_dist = traversal_subgraph(g, dist)
+        assert sub.nodes.tolist() == [0, 1, 2]
+        assert local_dist.tolist() == [0.0, 1.0, 2.0]
+
+    def test_sssp_on_subgraph_consistent(self, powerlaw_graph, hub_source):
+        dist = sssp(powerlaw_graph, hub_source).values
+        sub, local_dist = traversal_subgraph(powerlaw_graph, dist)
+        re_run = reference_sssp(sub.graph, sub.local_id(hub_source))
+        assert np.allclose(re_run, local_dist)
+
+
+@given(seed=st.integers(min_value=0, max_value=40))
+@settings(max_examples=25, deadline=None)
+def test_reconstructed_paths_are_optimal(seed):
+    """Property: every reconstructed path's weight equals the distance."""
+    graph = rmat(40, 300, seed=seed, weight_range=(1, 9))
+    source = int(np.argmax(graph.out_degrees()))
+    dist = reference_sssp(graph, source)
+    reverse = graph.reverse()
+    reached = np.flatnonzero(np.isfinite(dist))
+    for target in reached[:: max(1, len(reached) // 8)]:
+        path = reconstruct_path(graph, dist, source, int(target), reverse=reverse)
+        assert path[0] == source and path[-1] == target
+        assert path_length(graph, path) == pytest.approx(dist[target])

@@ -1,0 +1,144 @@
+"""Tests for the Theorem 1 / Corollary 1–4 verifiers themselves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.properties import (
+    check_split_transformation,
+    family_members,
+    verify_degree_bound,
+    verify_distance_preservation,
+    verify_in_degrees,
+    verify_path_preservation,
+    verify_widest_path_preservation,
+)
+from repro.core.splits import circular_transform, clique_transform, star_transform
+from repro.core.types import TransformResult, TransformStats
+from repro.core.udt import udt_transform
+from repro.core.weights import DumbWeight
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import rmat, star
+
+
+class TestVerifiersPassOnValidTransforms:
+    @pytest.mark.parametrize(
+        "transform", [udt_transform, clique_transform, circular_transform, star_transform]
+    )
+    def test_path_and_distance(self, transform, powerlaw_graph):
+        result = transform(powerlaw_graph, 4)
+        verify_path_preservation(powerlaw_graph, result, num_sources=3)
+        verify_distance_preservation(powerlaw_graph, result, num_sources=3)
+        verify_in_degrees(powerlaw_graph, result)
+
+    def test_widest_path(self, powerlaw_graph):
+        result = udt_transform(powerlaw_graph, 4, dumb_weight=DumbWeight.INFINITY)
+        verify_widest_path_preservation(powerlaw_graph, result, num_sources=3)
+
+    def test_degree_bound_strict(self, powerlaw_graph):
+        result = udt_transform(powerlaw_graph, 6)
+        assert verify_degree_bound(result, strict=True) <= 6
+
+    def test_degree_bound_nonstrict_for_star(self, powerlaw_graph):
+        result = star_transform(powerlaw_graph, 3)
+        # hub degree may exceed K: strict check must fail, lax returns it
+        max_degree = verify_degree_bound(result, strict=False)
+        assert max_degree > 3
+        with pytest.raises(AssertionError):
+            verify_degree_bound(result, strict=True)
+
+    def test_family_members(self, star5_graph):
+        result = udt_transform(star5_graph, 3)
+        families = family_members(result)
+        assert list(families) == [0]
+        assert set(families[0]) == {0, 6}
+
+
+class TestVerifiersCatchViolations:
+    def _corrupt(self, result: TransformResult, **overrides) -> TransformResult:
+        fields = dict(
+            graph=result.graph,
+            node_origin=result.node_origin,
+            new_edge_mask=result.new_edge_mask,
+            num_original_nodes=result.num_original_nodes,
+            stats=result.stats,
+        )
+        fields.update(overrides)
+        return TransformResult(**fields)
+
+    def test_wrong_origin_length(self, powerlaw_graph):
+        result = udt_transform(powerlaw_graph, 4)
+        bad = self._corrupt(result, node_origin=result.node_origin[:-1])
+        with pytest.raises(AssertionError, match="node_origin"):
+            check_split_transformation(powerlaw_graph, bad)
+
+    def test_non_identity_prefix(self, powerlaw_graph):
+        result = udt_transform(powerlaw_graph, 4)
+        origin = result.node_origin.copy()
+        origin[0] = 1
+        with pytest.raises(AssertionError, match="map to themselves"):
+            check_split_transformation(powerlaw_graph, self._corrupt(result, node_origin=origin))
+
+    def test_mask_flip_detected(self, star5_graph):
+        """Marking an original edge as new makes the family lose coverage."""
+        result = udt_transform(star5_graph, 3)
+        mask = result.new_edge_mask.copy()
+        mask[np.flatnonzero(~mask)[0]] = True
+        with pytest.raises(AssertionError, match="cover"):
+            check_split_transformation(star5_graph, self._corrupt(result, new_edge_mask=mask))
+
+    def test_distance_check_catches_nonzero_dumb_weight(self, powerlaw_graph):
+        """A transform with weight-1 'dumb' edges changes distances."""
+        result = udt_transform(powerlaw_graph, 4)
+        weights = result.graph.weights.copy()
+        weights[result.new_edge_mask] = 1.0
+        bad_graph = result.graph.with_weights(weights)
+        bad = self._corrupt(result, graph=bad_graph)
+        with pytest.raises(AssertionError, match="distances"):
+            verify_distance_preservation(powerlaw_graph, bad, num_sources=4)
+
+    def test_path_check_catches_dropped_edges(self, star5_graph):
+        result = udt_transform(star5_graph, 3)
+        truncated = from_edge_list([(0, 1, 1.0)], num_nodes=result.graph.num_nodes)
+        bad = self._corrupt(result, graph=truncated)
+        with pytest.raises(AssertionError, match="reachability"):
+            verify_path_preservation(star5_graph, bad, num_sources=2, seed=0)
+
+
+class TestEmptyAndTrivial:
+    def test_empty_graph(self):
+        g = from_edge_list([], num_nodes=0)
+        result = udt_transform(g, 4)
+        verify_path_preservation(g, result)
+        verify_distance_preservation(g, result)
+
+    def test_single_node(self):
+        g = from_edge_list([], num_nodes=1)
+        result = udt_transform(g, 4)
+        check_split_transformation(g, result)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    k=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_theorem1_corollary2_random(seed, k):
+    """Property: Corollary 2 — UDT with ZERO dumb weights preserves
+    all sampled pairwise distances on arbitrary weighted graphs."""
+    graph = rmat(50, 400, seed=seed, weight_range=(1, 9))
+    result = udt_transform(graph, k, dumb_weight=DumbWeight.ZERO)
+    verify_distance_preservation(graph, result, num_sources=2, seed=seed)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    k=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_corollary3_random(seed, k):
+    """Property: Corollary 3 — INFINITY dumb weights preserve widths."""
+    graph = rmat(50, 400, seed=seed, weight_range=(1, 9))
+    result = udt_transform(graph, k, dumb_weight=DumbWeight.INFINITY)
+    verify_widest_path_preservation(graph, result, num_sources=2, seed=seed)

@@ -1,0 +1,93 @@
+"""Unit tests for the pull-based engine and Theorem 3."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.programs import BFSProgram, SSSPProgram, SSWPProgram
+from repro.algorithms.reference import reference_bfs, reference_sssp, reference_sswp
+from repro.core.virtual import virtual_transform
+from repro.engine.pull import run_pull
+from repro.engine.push import EngineOptions
+from repro.engine.schedule import NodeScheduler, VirtualScheduler
+from repro.errors import EngineError
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import rmat
+
+
+class TestPullBasics:
+    def test_figure2_pull(self, figure2_graph):
+        rev = figure2_graph.reverse()
+        result = run_pull(NodeScheduler(rev), SSSPProgram(), figure2_graph, 0)
+        assert result.values.tolist() == [0.0, 2.0, 2.0, 3.0]
+
+    def test_mismatched_forward_graph(self, figure2_graph):
+        rev = figure2_graph.reverse()
+        other = from_edge_list([(0, 1)], num_nodes=2)
+        with pytest.raises(EngineError, match="does not match"):
+            run_pull(NodeScheduler(rev), BFSProgram(), other, 0)
+
+    def test_weights_required(self, diamond_graph):
+        with pytest.raises(EngineError, match="weights"):
+            run_pull(NodeScheduler(diamond_graph.reverse()), SSSPProgram(), diamond_graph, 0)
+
+    def test_worklist_off(self, figure2_graph):
+        rev = figure2_graph.reverse()
+        result = run_pull(NodeScheduler(rev), SSSPProgram(), figure2_graph, 0,
+                          options=EngineOptions(worklist=False))
+        assert result.values.tolist() == [0.0, 2.0, 2.0, 3.0]
+
+    def test_divergence_guard(self, powerlaw_graph, hub_source):
+        with pytest.raises(EngineError, match="pull"):
+            run_pull(NodeScheduler(powerlaw_graph.reverse()), SSSPProgram(),
+                     powerlaw_graph, hub_source,
+                     options=EngineOptions(max_iterations=1))
+
+
+class TestPushPullEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sssp(self, seed):
+        g = rmat(80, 700, seed=seed, weight_range=(1, 9))
+        src = int(np.argmax(g.out_degrees()))
+        ref = reference_sssp(g, src)
+        result = run_pull(NodeScheduler(g.reverse()), SSSPProgram(), g, src)
+        assert np.allclose(result.values, ref)
+
+    def test_bfs(self, powerlaw_unweighted, hub_source):
+        ref = reference_bfs(powerlaw_unweighted, hub_source)
+        result = run_pull(
+            NodeScheduler(powerlaw_unweighted.reverse()), BFSProgram(),
+            powerlaw_unweighted, hub_source,
+        )
+        assert np.allclose(result.values, ref, equal_nan=True)
+
+
+class TestTheorem3:
+    """Pull-based virtual transformation requires associativity —
+    MIN/MAX reductions qualify, and results must match the original."""
+
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_virtual_pull_sssp(self, powerlaw_graph, hub_source, k):
+        rev = powerlaw_graph.reverse()
+        virtual = virtual_transform(rev, k)
+        result = run_pull(
+            VirtualScheduler(virtual), SSSPProgram(), powerlaw_graph, hub_source
+        )
+        assert np.allclose(result.values, reference_sssp(powerlaw_graph, hub_source))
+
+    def test_virtual_pull_sswp(self, powerlaw_graph, hub_source):
+        rev = powerlaw_graph.reverse()
+        virtual = virtual_transform(rev, 6)
+        result = run_pull(
+            VirtualScheduler(virtual), SSWPProgram(), powerlaw_graph, hub_source
+        )
+        assert np.allclose(result.values, reference_sswp(powerlaw_graph, hub_source))
+
+    def test_same_iterations_as_node_pull(self, powerlaw_graph, hub_source):
+        """Implicit value sync: virtual pull adds no extra iterations."""
+        rev = powerlaw_graph.reverse()
+        node = run_pull(NodeScheduler(rev), SSSPProgram(), powerlaw_graph, hub_source)
+        virt = run_pull(
+            VirtualScheduler(virtual_transform(rev, 4)), SSSPProgram(),
+            powerlaw_graph, hub_source,
+        )
+        assert virt.num_iterations == node.num_iterations

@@ -1,0 +1,120 @@
+"""Sanity tests for the CPU oracles on hand-checkable graphs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import (
+    reference_bc,
+    reference_bfs,
+    reference_connected_components,
+    reference_pagerank,
+    reference_sssp,
+    reference_sswp,
+)
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list, to_undirected
+
+
+@pytest.fixture
+def weighted_triangle():
+    return from_edge_list([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+
+
+class TestBFSOracle:
+    def test_hops(self, diamond_graph):
+        assert reference_bfs(diamond_graph, 0).tolist() == [0, 1, 1, 2]
+
+    def test_unreachable_is_inf(self):
+        g = from_edge_list([(0, 1)], num_nodes=3)
+        assert reference_bfs(g, 0)[2] == np.inf
+
+    def test_bad_source(self, diamond_graph):
+        with pytest.raises(GraphError):
+            reference_bfs(diamond_graph, 99)
+
+
+class TestSSSPOracle:
+    def test_prefers_cheap_path(self, weighted_triangle):
+        assert reference_sssp(weighted_triangle, 0).tolist() == [0.0, 1.0, 2.0]
+
+    def test_unweighted_is_bfs(self, diamond_graph):
+        assert np.array_equal(
+            reference_sssp(diamond_graph, 0), reference_bfs(diamond_graph, 0)
+        )
+
+    def test_negative_weight_rejected(self):
+        g = from_edge_list([(0, 1, -1.0)])
+        with pytest.raises(GraphError, match="non-negative"):
+            reference_sssp(g, 0)
+
+    def test_figure8_example(self):
+        """The paper's Figure 8: distance A->B is 6 via the weighted path."""
+        # A=0 with edges of weights 1,2,3,4 to nodes 1..4; B=5; the
+        # shortest A->B path in the figure totals 6.
+        g = from_edge_list([
+            (0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (0, 4, 4.0),
+            (2, 5, 4.0), (3, 5, 3.0), (4, 5, 2.0),
+        ])
+        assert reference_sssp(g, 0)[5] == 6.0
+
+
+class TestSSWPOracle:
+    def test_bottleneck(self):
+        g = from_edge_list([(0, 1, 9.0), (1, 2, 1.0), (0, 3, 3.0), (3, 2, 3.0)])
+        width = reference_sswp(g, 0)
+        assert width[2] == 3.0
+        assert width[0] == np.inf
+        assert width[1] == 9.0
+
+    def test_unreachable_is_minus_inf(self):
+        g = from_edge_list([(0, 1, 1.0)], num_nodes=3)
+        assert reference_sswp(g, 0)[2] == -np.inf
+
+
+class TestCCOracle:
+    def test_two_components(self):
+        g = to_undirected(from_edge_list([(0, 1), (2, 3)]))
+        assert reference_connected_components(g).tolist() == [0, 0, 2, 2]
+
+    def test_labels_are_minima(self):
+        g = to_undirected(from_edge_list([(3, 1), (1, 2)]))
+        labels = reference_connected_components(g)
+        assert labels.tolist() == [0, 1, 1, 1]
+
+
+class TestBCOracle:
+    def test_diamond_single_source(self, diamond_graph):
+        bc = reference_bc(diamond_graph, 0)
+        assert bc[1] == pytest.approx(0.5)
+        assert bc[2] == pytest.approx(0.5)
+        assert bc[0] == 0.0
+
+    def test_all_sources_line(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        bc = reference_bc(g)
+        # node 1 sits on the single 0->2 path
+        assert bc.tolist() == [0.0, 1.0, 0.0]
+
+    def test_bad_source(self, diamond_graph):
+        with pytest.raises(GraphError):
+            reference_bc(diamond_graph, -1)
+
+
+class TestPageRankOracle:
+    def test_sums_to_one(self, powerlaw_unweighted):
+        assert reference_pagerank(powerlaw_unweighted).sum() == pytest.approx(1.0)
+
+    def test_sink_receives_more(self):
+        g = from_edge_list([(0, 2), (1, 2)], num_nodes=3)
+        ranks = reference_pagerank(g)
+        assert ranks[2] > ranks[0]
+
+    def test_empty(self):
+        assert reference_pagerank(from_edge_list([], num_nodes=0)).shape == (0,)
+
+    def test_convergence_flag_via_iterations(self):
+        # a tiny graph converges well before 100 iterations
+        g = from_edge_list([(0, 1), (1, 0)])
+        a = reference_pagerank(g, max_iterations=100)
+        b = reference_pagerank(g, max_iterations=1000)
+        assert np.allclose(a, b)

@@ -1,0 +1,86 @@
+"""Unit tests for node reordering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import reference_sssp
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import path_graph, rmat, star
+from repro.graph.reorder import (
+    apply_order,
+    bfs_order,
+    bfs_ordered,
+    degree_sort_order,
+    degree_sorted,
+    random_order,
+)
+
+
+class TestDegreeSort:
+    def test_descending_puts_hub_first(self):
+        g = star(10)
+        perm = degree_sort_order(g)
+        assert perm[0] == 0  # the hub keeps id 0 (highest degree)
+
+    def test_ascending(self):
+        g = star(10)
+        perm = degree_sort_order(g, descending=False)
+        assert perm[0] == 10  # hub gets the last id
+
+    def test_degrees_monotone_after_relabel(self, powerlaw_graph):
+        sorted_graph = degree_sorted(powerlaw_graph)
+        degrees = sorted_graph.out_degrees()
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_is_permutation(self, powerlaw_graph):
+        perm = degree_sort_order(powerlaw_graph)
+        assert sorted(perm.tolist()) == list(range(powerlaw_graph.num_nodes))
+
+    def test_deterministic(self, powerlaw_graph):
+        assert np.array_equal(
+            degree_sort_order(powerlaw_graph), degree_sort_order(powerlaw_graph)
+        )
+
+
+class TestBFSOrder:
+    def test_source_first(self, powerlaw_graph, hub_source):
+        perm = bfs_order(powerlaw_graph, source=hub_source)
+        assert perm[hub_source] == 0
+
+    def test_path_identity(self):
+        g = path_graph(6)
+        assert bfs_order(g, source=0).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreached_appended(self):
+        g = from_edge_list([(0, 1)], num_nodes=4)
+        perm = bfs_order(g, source=0)
+        assert perm[0] == 0 and perm[1] == 1
+        assert set(perm[2:].tolist()) == {2, 3}
+
+    def test_empty_graph(self):
+        g = from_edge_list([], num_nodes=0)
+        assert len(bfs_order(g)) == 0
+
+
+class TestSemanticsPreserved:
+    """Relabeling changes ids, never answers."""
+
+    @pytest.mark.parametrize("reorder", [degree_sorted, bfs_ordered])
+    def test_sssp_invariant_under_reorder(self, reorder):
+        g = rmat(120, 900, seed=17, weight_range=(1, 9))
+        src = int(np.argmax(g.out_degrees()))
+        ref = reference_sssp(g, src)
+        if reorder is degree_sorted:
+            perm = degree_sort_order(g)
+        else:
+            perm = bfs_order(g, source=src)
+        relabeled = apply_order(g, perm)
+        got = reference_sssp(relabeled, int(perm[src]))
+        # distances of node v now live at perm[v]
+        assert np.allclose(got[perm], ref)
+
+    def test_random_order_seeded(self, powerlaw_graph):
+        a = random_order(powerlaw_graph, seed=3)
+        b = random_order(powerlaw_graph, seed=3)
+        assert np.array_equal(a, b)
+        assert sorted(a.tolist()) == list(range(powerlaw_graph.num_nodes))

@@ -1,0 +1,123 @@
+"""Unit tests for the clique / circular / star split transformations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import predict_properties
+from repro.core.properties import check_split_transformation
+from repro.core.splits import circular_transform, clique_transform, star_transform
+from repro.errors import TransformError
+from repro.graph.generators import rmat, star
+
+TRANSFORMS = {
+    "cliq": clique_transform,
+    "circ": circular_transform,
+    "star": star_transform,
+}
+
+
+@pytest.mark.parametrize("topology", list(TRANSFORMS))
+@pytest.mark.parametrize("d,k", [(5, 3), (12, 4), (100, 10), (7, 2)])
+def test_counts_match_table1(topology, d, k):
+    """Measured #new nodes/edges/degree/hops equal the Table 1 forms."""
+    result = TRANSFORMS[topology](star(d), k)
+    predicted = predict_properties(topology, d, k)
+    assert result.stats.new_nodes == predicted.new_nodes
+    assert result.stats.new_edges == predicted.new_edges
+    assert result.stats.max_degree_after == predicted.new_degree
+    assert result.stats.max_family_hops == predicted.max_hops
+
+
+@pytest.mark.parametrize("topology", list(TRANSFORMS))
+def test_definition2_contract(topology, powerlaw_graph):
+    result = TRANSFORMS[topology](powerlaw_graph, 4)
+    check_split_transformation(powerlaw_graph, result)
+
+
+@pytest.mark.parametrize("topology", list(TRANSFORMS))
+def test_no_op_below_bound(topology, regular_graph):
+    result = TRANSFORMS[topology](regular_graph, 10)
+    assert result.stats.new_nodes == 0
+
+
+@pytest.mark.parametrize("topology", list(TRANSFORMS))
+def test_bad_bound_rejected(topology, powerlaw_graph):
+    with pytest.raises(TransformError):
+        TRANSFORMS[topology](powerlaw_graph, 0)
+
+
+class TestClique:
+    def test_family_strongly_connected_one_hop(self):
+        d, k = 12, 4
+        result = clique_transform(star(d), k)
+        members = result.families()[0]
+        graph = result.graph
+        for a in members:
+            for b in members:
+                if a != b:
+                    assert graph.has_edge(int(a), int(b))
+
+    def test_quadratic_edge_growth(self):
+        """T_cliq's space cost is quadratic in the family size."""
+        small = clique_transform(star(40), 4).stats.new_edges
+        big = clique_transform(star(400), 4).stats.new_edges
+        assert big / small > 50  # ~100x for 10x degree
+
+
+class TestCircular:
+    def test_cycle_structure(self):
+        d, k = 12, 4
+        result = circular_transform(star(d), k)
+        members = result.families()[0]
+        graph = result.graph
+        # each member has exactly one new (cycle) edge to another member
+        sources = graph.edge_sources()
+        for m in members:
+            new_out = result.new_edge_mask & (sources == m)
+            assert new_out.sum() == 1
+            assert graph.targets[new_out][0] in members
+
+    def test_degree_bound_k_plus_one(self):
+        result = circular_transform(star(100), 5)
+        assert result.graph.max_out_degree() <= 6
+
+    def test_hops_grow_linearly(self):
+        """The slow-propagation corner of the Table 1 trade-off."""
+        assert circular_transform(star(100), 4).stats.max_family_hops == math.ceil(100 / 4) - 1
+
+
+class TestStar:
+    def test_hub_keeps_no_original_edges(self):
+        d, k = 12, 4
+        result = star_transform(star(d), k)
+        graph = result.graph
+        sources = graph.edge_sources()
+        hub_original = (~result.new_edge_mask) & (sources == 0)
+        assert hub_original.sum() == 0
+
+    def test_hub_degree_is_family_size(self):
+        result = star_transform(star(100), 4)
+        assert result.graph.out_degree(0) == math.ceil(100 / 4)
+
+    def test_hub_node_issue(self):
+        """The motivation for UDT: the hub degree can exceed K."""
+        result = star_transform(star(100), 4)
+        assert result.graph.max_out_degree() > 4
+
+    def test_residual_count_can_exceed_one(self):
+        """Figure 6-(a): T_star on degree 5, K=3 leaves two residuals."""
+        result = star_transform(star(5), 3)
+        degrees = result.graph.out_degrees()
+        members = result.families()[0]
+        residuals = int(np.sum((degrees[members] > 0) & (degrees[members] < 3)))
+        assert residuals == 2
+
+
+def test_all_topologies_on_random_graph():
+    graph = rmat(80, 900, seed=13, weight_range=(1, 5))
+    for topology, transform in TRANSFORMS.items():
+        result = transform(graph, 3)
+        check_split_transformation(graph, result)
+        assert result.stats.num_families == int(np.sum(graph.out_degrees() > 3))

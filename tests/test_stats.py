@@ -1,0 +1,99 @@
+"""Unit tests for degree statistics and diameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import path_graph, regular_ring, star
+from repro.graph.stats import (
+    bfs_eccentricity,
+    degree_histogram,
+    degree_stats,
+    estimate_diameter,
+    gini_coefficient,
+)
+
+
+class TestGini:
+    def test_empty(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_inequality_approaches_one(self):
+        values = [0] * 999 + [100]
+        assert gini_coefficient(values) > 0.99
+
+    def test_known_value(self):
+        # G([1, 3]) = (2*(1*1 + 2*3)/(2*4)) - 3/2 = 7/4 - 3/2 = 0.25
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        vals = [1, 2, 3, 10]
+        assert gini_coefficient(vals) == pytest.approx(
+            gini_coefficient([10 * v for v in vals])
+        )
+
+
+class TestDegreeStats:
+    def test_regular_graph(self):
+        stats = degree_stats(regular_ring(10, 3))
+        assert stats.min_degree == stats.max_degree == 3
+        assert stats.coefficient_of_variation == 0.0
+        assert stats.gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_star_graph(self):
+        stats = degree_stats(star(50))
+        assert stats.max_degree == 50
+        assert stats.mean_degree == pytest.approx(50 / 51)
+        assert stats.frac_degree_below_20 == pytest.approx(50 / 51)
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        stats = degree_stats(CSRGraph(np.array([0]), np.array([], dtype=np.int64)))
+        assert stats.num_nodes == 0
+        assert stats.mean_degree == 0.0
+
+    def test_as_dict_keys(self):
+        d = degree_stats(star(3)).as_dict()
+        assert "gini" in d and "max_degree" in d
+
+
+class TestHistogram:
+    def test_default_bins(self):
+        h = degree_histogram(star(30))
+        assert h["[0, 20)"] == 30  # the leaves
+        assert h["[20, 100)"] == 1  # the hub
+
+    def test_custom_bins(self):
+        h = degree_histogram(star(5), bins=[0, 6])
+        assert h["[0, 6)"] == 6
+        assert h["[6, inf)"] == 0
+
+
+class TestEccentricityAndDiameter:
+    def test_path_eccentricity(self):
+        g = path_graph(10)
+        assert bfs_eccentricity(g, 0) == 9
+        assert bfs_eccentricity(g, 9) == 0
+
+    def test_star_eccentricity(self):
+        assert bfs_eccentricity(star(5), 0) == 1
+
+    def test_diameter_path(self):
+        g = path_graph(12)
+        assert estimate_diameter(g, num_sources=12, seed=0) == 11
+
+    def test_diameter_includes_hub(self):
+        # even with few samples the max-degree node is always included
+        g = star(40)
+        assert estimate_diameter(g, num_sources=1, seed=0) >= 1
+
+    def test_diamond(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert bfs_eccentricity(g, 0) == 2

@@ -1,0 +1,178 @@
+"""Tests for graph validation, multi-source analytics, and the
+diameter-increase bound."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.multi_source import (
+    approximate_bc,
+    closeness_centrality,
+    multi_source_distances,
+)
+from repro.algorithms.reference import reference_bc, reference_sssp
+from repro.core.analysis import diameter_increase_bound
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.errors import EngineError, TransformError
+from repro.graph.builder import from_edge_list, to_undirected
+from repro.graph.generators import path_graph, rmat, star
+from repro.graph.stats import estimate_diameter
+from repro.graph.validate import (
+    count_isolated_nodes,
+    count_parallel_edges,
+    count_self_loops,
+    is_symmetric,
+    validation_report,
+)
+
+
+class TestValidation:
+    def test_clean_graph(self):
+        g = from_edge_list([(0, 1, 2.0), (1, 0, 2.0)])
+        report = validation_report(g)
+        assert report.is_simple
+        assert report.is_symmetric
+        assert report.suitable_for("sssp")
+
+    def test_self_loops_counted(self):
+        g = from_edge_list([(0, 0), (0, 1), (1, 1)])
+        assert count_self_loops(g) == 2
+        assert not validation_report(g).is_simple
+
+    def test_parallel_edges_counted(self):
+        g = from_edge_list([(0, 1), (0, 1), (0, 1), (1, 0)])
+        assert count_parallel_edges(g) == 2
+
+    def test_isolated_nodes(self):
+        g = from_edge_list([(0, 1)], num_nodes=5)
+        assert count_isolated_nodes(g) == 3
+
+    def test_asymmetric_detected(self):
+        assert not is_symmetric(from_edge_list([(0, 1)]))
+        assert is_symmetric(to_undirected(from_edge_list([(0, 1)])))
+
+    def test_negative_weights_block_sssp(self):
+        g = from_edge_list([(0, 1, -2.0)])
+        report = validation_report(g)
+        assert report.has_negative_weights
+        assert not report.suitable_for("sssp")
+        assert report.suitable_for("sswp")
+        assert report.suitable_for("bfs")
+
+    def test_nonfinite_weights(self):
+        g = from_edge_list([(0, 1, np.inf)])
+        report = validation_report(g)
+        assert report.has_nonfinite_weights
+        assert not report.suitable_for("sswp")
+
+    def test_unweighted_unsuitable_for_sssp(self):
+        report = validation_report(from_edge_list([(0, 1)]))
+        assert not report.suitable_for("sssp")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            validation_report(from_edge_list([(0, 1)])).suitable_for("tc")
+
+    def test_empty_graph(self):
+        report = validation_report(from_edge_list([], num_nodes=0))
+        assert report.is_simple and report.num_edges == 0
+
+
+class TestDiameterBound:
+    def test_bound_holds_empirically(self):
+        """§3.2: UDT's diameter increase stays within O(D log_K(...))."""
+        for seed in (0, 1, 2):
+            graph = to_undirected(rmat(150, 1200, seed=seed))
+            before = estimate_diameter(graph, num_sources=10, seed=0)
+            for k in (2, 4, 8):
+                result = udt_transform(graph, k)
+                after = estimate_diameter(result.graph, num_sources=10, seed=0)
+                bound = diameter_increase_bound(
+                    before, graph.num_edges, graph.max_out_degree(), k
+                )
+                assert after <= bound, (seed, k, before, after, bound)
+
+    def test_star_worst_case(self):
+        g = star(1000)
+        result = udt_transform(g, 2)
+        after = estimate_diameter(result.graph, num_sources=4, seed=0)
+        bound = diameter_increase_bound(1, g.num_edges, 1000, 2)
+        assert after <= bound
+
+    def test_k1_rejected(self):
+        with pytest.raises(TransformError):
+            diameter_increase_bound(5, 100, 10, 1)
+
+
+class TestMultiSourceDistances:
+    def test_rows_match_single_source(self, powerlaw_graph):
+        sources = [0, 5, 9]
+        rows = multi_source_distances(powerlaw_graph, sources)
+        for row, src in zip(rows, sources):
+            assert np.allclose(row, reference_sssp(powerlaw_graph, src))
+
+    def test_empty_sources(self, powerlaw_graph):
+        rows = multi_source_distances(powerlaw_graph, [])
+        assert rows.shape == (0, powerlaw_graph.num_nodes)
+
+    def test_unweighted_mode(self, powerlaw_unweighted):
+        rows = multi_source_distances(powerlaw_unweighted, [0], weighted=False)
+        assert rows.shape == (1, powerlaw_unweighted.num_nodes)
+
+
+class TestCloseness:
+    def test_path_graph_shape(self):
+        # in 0->1->2->3, node 0 reaches everyone: highest closeness of
+        # the *sources*; computed over all sources exactly.
+        g = path_graph(4)
+        c = closeness_centrality(g, weighted=False)
+        # node 3 is reached by all at distances (3,2,1): closeness
+        # 1/3+1/2+1 for incoming... harmonic closeness here accumulates
+        # at the *reached* node.
+        assert c[3] == pytest.approx(1 / 3 + 1 / 2 + 1)
+        assert c[0] == 0.0  # nothing reaches node 0
+
+    def test_sampling_unbiased_scale(self, powerlaw_unweighted):
+        exact = closeness_centrality(powerlaw_unweighted, weighted=False)
+        sampled = closeness_centrality(
+            powerlaw_unweighted, num_sources=powerlaw_unweighted.num_nodes // 2,
+            weighted=False, seed=1,
+        )
+        # correlated and on the same scale
+        ratio = sampled.sum() / max(exact.sum(), 1e-12)
+        assert 0.5 < ratio < 2.0
+
+    def test_virtual_target_identical(self, powerlaw_unweighted):
+        exact = closeness_centrality(powerlaw_unweighted, num_sources=8,
+                                     weighted=False, seed=3)
+        virt = closeness_centrality(
+            virtual_transform(powerlaw_unweighted, 8), num_sources=8,
+            weighted=False, seed=3,
+        )
+        assert np.allclose(exact, virt)
+
+    def test_bad_source(self, powerlaw_unweighted):
+        with pytest.raises(EngineError):
+            closeness_centrality(powerlaw_unweighted, sources=[-4])
+
+
+class TestApproximateBC:
+    def test_all_sources_exact(self):
+        g = rmat(60, 400, seed=9)
+        exact = reference_bc(g)  # all sources
+        got = approximate_bc(g)
+        assert np.allclose(got, exact)
+
+    def test_sampled_correlates(self):
+        g = rmat(80, 600, seed=10)
+        exact = reference_bc(g)
+        sampled = approximate_bc(g, num_sources=40, seed=2)
+        top_exact = set(np.argsort(exact)[-5:].tolist())
+        top_sampled = set(np.argsort(sampled)[-5:].tolist())
+        assert len(top_exact & top_sampled) >= 3
+
+    def test_virtual_target(self):
+        g = rmat(60, 400, seed=9)
+        exact = approximate_bc(g, num_sources=10, seed=1)
+        virt = approximate_bc(virtual_transform(g, 6), num_sources=10, seed=1)
+        assert np.allclose(exact, virt)

@@ -1,0 +1,96 @@
+"""Unit tests for dumb-weight policies and Table 1 closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    SplitProperties,
+    logarithmic_height_bound,
+    predict_properties,
+)
+from repro.core.weights import DumbWeight
+from repro.errors import TransformError
+
+
+class TestDumbWeight:
+    def test_zero_value(self):
+        assert DumbWeight.ZERO.value_for_new_edges == 0.0
+
+    def test_infinity_value(self):
+        assert DumbWeight.INFINITY.value_for_new_edges == np.inf
+
+    def test_none_has_no_value(self):
+        with pytest.raises(ValueError):
+            DumbWeight.NONE.value_for_new_edges
+
+    @pytest.mark.parametrize(
+        "algorithm,expected",
+        [
+            ("bfs", DumbWeight.ZERO),
+            ("sssp", DumbWeight.ZERO),
+            ("bc", DumbWeight.ZERO),
+            ("sswp", DumbWeight.INFINITY),
+            ("cc", DumbWeight.NONE),
+            ("pagerank", DumbWeight.NONE),
+            ("pr", DumbWeight.NONE),
+            ("SSSP", DumbWeight.ZERO),  # case-insensitive
+        ],
+    )
+    def test_for_algorithm(self, algorithm, expected):
+        assert DumbWeight.for_algorithm(algorithm) is expected
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown"):
+            DumbWeight.for_algorithm("coloring")
+
+
+class TestPredictProperties:
+    def test_cliq_row(self):
+        p = predict_properties("cliq", 100, 10)
+        assert p.new_nodes == 9
+        assert p.new_edges == 9 * 10
+        assert p.new_degree == 10 + 9
+        assert p.max_hops == 1
+
+    def test_circ_row(self):
+        p = predict_properties("circ", 100, 10)
+        assert p.new_nodes == 9
+        assert p.new_edges == 10  # full cycle (documented deviation)
+        assert p.new_degree == 11
+        assert p.max_hops == 9
+
+    def test_star_row(self):
+        p = predict_properties("star", 100, 10)
+        assert p.new_nodes == 10
+        assert p.new_edges == 10
+        assert p.new_degree == 10
+        assert p.max_hops == 1
+
+    def test_star_degree_dominated_by_hub(self):
+        # d=1000, K=10: hub degree 100 > K
+        assert predict_properties("star", 1000, 10).new_degree == 100
+
+    def test_udt_row(self):
+        p = predict_properties("udt", 100, 10)
+        assert p.new_degree == 10
+        assert p.new_nodes == math.ceil((100 - 10) / 9)
+        assert p.new_edges == p.new_nodes
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TransformError):
+            predict_properties("cliq", 5, 0)
+        with pytest.raises(TransformError, match="does not exceed"):
+            predict_properties("cliq", 5, 5)
+        with pytest.raises(TransformError, match="unknown topology"):
+            predict_properties("ring", 10, 2)
+
+    def test_qualitative_labels(self):
+        assert predict_properties("circ", 10, 2).qualitative["value_propagation"] == "slow"
+        assert predict_properties("cliq", 10, 2).qualitative["space_cost"] == "high"
+        assert predict_properties("star", 10, 2).qualitative["irregularity_reduction"] == "varies"
+
+    def test_height_bound_trivial_cases(self):
+        assert logarithmic_height_bound(5, 10) == 0.0
+        assert logarithmic_height_bound(5, 1) == 0.0
