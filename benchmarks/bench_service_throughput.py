@@ -1,0 +1,33 @@
+"""Serving-layer throughput: warm cache must beat cold single-shot.
+
+The acceptance bar for the serving layer mirrors §6.5's argument for
+the transformations themselves: the transform is a one-time cost, so
+a query stream that reuses it (warm catalog, batched fan-out) has to
+outrun the same stream paying it per query.  The JSON artifact lands
+in ``results/`` alongside the regenerated paper tables.
+"""
+
+import os
+
+from repro.bench import service_throughput
+from repro.bench.export import save_report
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+def test_service_throughput(run_once, bench_scale):
+    report = run_once(service_throughput, scale=bench_scale)
+    print()
+    print(report.to_text())
+    save_report(report, os.path.join(RESULTS_DIR, "service-throughput.json"))
+
+    by_phase = {row["phase"]: row for row in report.rows}
+    # a warm catalog serves every query without transform work...
+    assert by_phase["warm-single"]["cache_hit_rate"] > 0.9
+    assert by_phase["warm-batched"]["cache_hit_rate"] > 0.9
+    # ...and beats cold single-shot on throughput, batched most of all
+    assert report.extras["warm_single_speedup"] > 1.0
+    assert report.extras["warm_batched_speedup"] > 1.0
+    assert (
+        by_phase["warm-batched"]["qps"] >= by_phase["cold-single"]["qps"]
+    )

@@ -6,6 +6,11 @@ Subcommands::
     python -m repro transform <dataset> [...]    # transform + report
     python -m repro run <algorithm> <dataset>    # run an analytic
     python -m repro compare <algorithm> <dataset>  # all Table 2 methods
+    python -m repro query <algorithm> <dataset>  # one query via the
+                                                 # serving layer
+    python -m repro serve <dataset> [...]        # drive a synthetic
+                                                 # workload through the
+                                                 # concurrent service
     python -m repro bench [...]                  # paper experiments
                                                  # (alias of repro.bench)
 
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import Optional
 
 import numpy as np
@@ -58,6 +64,7 @@ def cmd_info(args) -> int:
     graph = _load(args.graph, scale=args.scale)
     stats = degree_stats(graph)
     print(f"graph: {graph}")
+    print(f"  {'fingerprint':28s} {graph.fingerprint()}")
     for key, value in stats.as_dict().items():
         if isinstance(value, float):
             print(f"  {key:28s} {value:.4g}")
@@ -147,6 +154,121 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _parse_sources(args, graph: CSRGraph):
+    """Source list from --source/--sources, defaulting to the max-degree hub."""
+    sources = []
+    if args.source is not None:
+        sources.append(int(args.source))
+    if args.sources:
+        try:
+            sources.extend(int(s) for s in args.sources.split(","))
+        except ValueError:
+            raise TigrError(
+                f"--sources must be comma-separated integers, got {args.sources!r}"
+            ) from None
+    if not sources and ALGORITHMS[args.algorithm].needs_source:
+        hub = int(np.argmax(graph.out_degrees()))
+        print(f"(using max-outdegree source {hub})")
+        sources = [hub]
+    return sources
+
+
+def cmd_query(args) -> int:
+    from repro.service import AnalyticsService, GraphCatalog, QueryRequest
+
+    graph = _load(args.graph, scale=args.scale)
+    sources = _parse_sources(args, graph)
+    catalog = GraphCatalog(spill_dir=args.spill_dir)
+    with AnalyticsService(catalog, workers=args.workers) as service:
+        service.register(args.graph, graph)
+        for round_no in range(args.repeat):
+            requests = (
+                [QueryRequest.single(args.algorithm, args.graph, s,
+                                     transform=args.transform,
+                                     degree_bound=args.k,
+                                     timeout_s=args.timeout)
+                 for s in sources]
+                or [QueryRequest(args.algorithm, args.graph,
+                                 transform=args.transform,
+                                 degree_bound=args.k,
+                                 timeout_s=args.timeout)]
+            )
+            results = [t.result() for t in service.submit_batch(requests)]
+            for result in results:
+                if not result.ok:
+                    print(f"error: {result.error}", file=sys.stderr)
+                    return 2
+            label = f"round {round_no + 1}: " if args.repeat > 1 else ""
+            head = results[0]
+            print(f"{label}{args.algorithm} via service "
+                  f"(transform={head.transform}, K={head.degree_bound}):")
+            print(f"  cache hit:    {head.cache_hit}"
+                  + (" (degraded)" if head.degraded else ""))
+            print(f"  batched with: {head.batched_with} other request(s)")
+            for stage, ms in head.timings.as_dict().items():
+                print(f"  {stage:13s} {ms * 1e3:.3f} ms")
+            for result in results:
+                for source, values in result.values.items():
+                    finite = values[np.isfinite(values)]
+                    where = f"source {source}" if source >= 0 else "all nodes"
+                    print(f"  values[{where}]: {len(finite)} finite, "
+                          f"range [{finite.min():.4g}, {finite.max():.4g}]"
+                          if len(finite) else f"  values[{where}]: none finite")
+        if args.stats:
+            print("service metrics:")
+            for key, value in service.metrics.summary().items():
+                print(f"  {key:28s} {value:.4g}"
+                      if isinstance(value, float) else f"  {key:28s} {value}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import random
+
+    from repro.service import AnalyticsService, GraphCatalog, QueryRequest
+
+    graph = _load(args.graph, scale=args.scale)
+    rng = random.Random(args.seed)
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    for algorithm in algorithms:
+        if algorithm not in ALGORITHMS:
+            raise TigrError(
+                f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+    catalog = GraphCatalog(
+        memory_budget_bytes=args.cache_mb * 1024 * 1024,
+        spill_dir=args.spill_dir,
+    )
+    start = time.perf_counter()
+    with AnalyticsService(
+        catalog, workers=args.workers, queue_size=args.queue_size,
+        default_timeout_s=args.timeout,
+    ) as service:
+        service.register(args.graph, graph)
+        n = graph.num_nodes
+        requests = []
+        for _ in range(args.requests):
+            algorithm = rng.choice(algorithms)
+            if ALGORITHMS[algorithm].needs_source:
+                requests.append(QueryRequest.single(
+                    algorithm, args.graph, rng.randrange(n)))
+            else:
+                requests.append(QueryRequest(algorithm, args.graph))
+        tickets = []
+        for lo in range(0, len(requests), args.batch):
+            tickets.extend(service.submit_batch(requests[lo:lo + args.batch]))
+        results = [t.result() for t in tickets]
+        elapsed = time.perf_counter() - start
+        ok = sum(r.ok for r in results)
+        print(f"served {ok}/{len(results)} queries in {elapsed:.3f}s "
+              f"({ok / elapsed:.1f} queries/s, {args.workers} workers)")
+        print("service metrics:")
+        for key, value in service.metrics.summary().items():
+            print(f"  {key:28s} {value:.4g}"
+                  if isinstance(value, float) else f"  {key:28s} {value}")
+    return 0 if ok == len(results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -185,6 +307,50 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--k-v", type=int, default=10)
         p.add_argument("--scale", type=float, default=1.0)
         p.set_defaults(func=fn)
+
+    p = sub.add_parser("query", help="run one analytic through the serving layer")
+    p.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p.add_argument("graph")
+    p.add_argument("--source", type=int, default=None)
+    p.add_argument("--sources", default=None,
+                   help="comma-separated source list (batched, deduplicated)")
+    p.add_argument("--transform",
+                   choices=("auto", "none", "udt", "virtual", "virtual+"),
+                   default="auto")
+    p.add_argument("--k", type=int, default=None, help="degree bound override")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="submit the query N times (shows warm-cache hits)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--spill-dir", default=None,
+                   help="directory for evicted-artifact .npz spill")
+    p.add_argument("--stats", action="store_true",
+                   help="print service metrics after the run")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="drive a synthetic concurrent workload through the service",
+    )
+    p.add_argument("graph")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of synthetic queries (default 64)")
+    p.add_argument("--algorithms", default="bfs,sssp,pr",
+                   help="comma-separated analytics to sample from")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--queue-size", type=int, default=128)
+    p.add_argument("--batch", type=int, default=16,
+                   help="submission batch size (same-graph coalescing window)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--cache-mb", type=int, default=256,
+                   help="catalog memory budget in MiB")
+    p.add_argument("--spill-dir", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("bench", help="regenerate the paper's experiments")
     p.add_argument("experiments", nargs="*", default=None)

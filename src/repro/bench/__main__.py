@@ -30,6 +30,7 @@ from repro.bench import (
     k_sweep_virtual,
     optimization_grid,
     reordering_comparison,
+    service_throughput,
     skew_sweep,
     speedup_scaling,
     table1_split_properties,
@@ -67,6 +68,7 @@ EXPERIMENTS = {
     "table4x": lambda scale: table4_performance(scale=scale, extended=True),
     "multigpu": lambda scale: multigpu_orthogonality(scale=scale),
     "devices": lambda scale: device_generation_sweep(scale=scale),
+    "service": lambda scale: service_throughput(scale=scale),
 }
 
 

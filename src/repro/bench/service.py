@@ -1,0 +1,158 @@
+"""Serving-layer throughput: cold vs warm cache, single vs batched.
+
+Not a paper table — this experiment justifies the serving layer the
+way §6.5 justifies the transformations: the transform is a one-time
+cost, so a layer that amortises it across queries must show (a) warm
+queries paying zero transform time, and (b) batched multi-source
+traffic beating the same queries issued one-by-one against a cold
+service.  Three phases over one dataset stand-in:
+
+``cold-single``
+    A fresh service per query: every request pays preparation and
+    transform construction (the pre-serving-layer behaviour).
+``warm-single``
+    One service, sequential queries: the first request per analytic
+    builds the artifact, every later one hits the catalog.
+``warm-batched``
+    One service, requests submitted in batches: catalog hits plus
+    source dedup and shared fan-out.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List
+
+from repro.baselines.base import ALGORITHMS
+from repro.bench.report import ExperimentReport
+from repro.graph.datasets import load_dataset
+from repro.service import AnalyticsService, GraphCatalog, QueryRequest
+
+
+def _make_requests(
+    name: str,
+    num_nodes: int,
+    count: int,
+    algorithms: List[str],
+    seed: int,
+    transform: str,
+) -> List[QueryRequest]:
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        algorithm = rng.choice(algorithms)
+        if ALGORITHMS[algorithm].needs_source:
+            requests.append(
+                QueryRequest.single(
+                    algorithm, name, rng.randrange(num_nodes), transform=transform
+                )
+            )
+        else:
+            requests.append(QueryRequest(algorithm, name, transform=transform))
+    return requests
+
+
+def service_throughput(
+    scale: float = 1.0,
+    *,
+    dataset: str = "pokec",
+    num_queries: int = 48,
+    workers: int = 4,
+    algorithms: List[str] = ("bfs", "sssp"),
+    transform: str = "udt",
+    seed: int = 7,
+) -> ExperimentReport:
+    """Queries/sec and latency percentiles across the three phases.
+
+    Defaults to the physical (UDT) transform: it is the expensive one
+    (10-60x the virtual overlay, Table 7), so it is where amortising
+    transform work across a query stream matters most.
+    """
+    report = ExperimentReport(
+        "Service throughput",
+        f"{num_queries} {transform} queries on {dataset}, {workers} workers, "
+        f"algorithms {'/'.join(algorithms)}",
+    )
+    graph = load_dataset(dataset, scale=scale)
+    algorithms = list(algorithms)
+
+    def requests_for(name: str) -> List[QueryRequest]:
+        return _make_requests(
+            name, graph.num_nodes, num_queries, algorithms, seed, transform
+        )
+
+    # -- cold-single: a fresh catalog per query, no reuse at all -------
+    start = time.perf_counter()
+    latencies = []
+    for request in requests_for(dataset):
+        with AnalyticsService(GraphCatalog(), workers=1) as service:
+            service.register(dataset, graph)
+            t0 = time.perf_counter()
+            result = service.run(request)
+            latencies.append(time.perf_counter() - t0)
+            assert result.ok and not result.cache_hit
+    cold_elapsed = time.perf_counter() - start
+    _add_phase(report, "cold-single", num_queries, cold_elapsed, latencies, 0.0)
+
+    # -- warm-single: shared catalog, sequential submission ------------
+    with AnalyticsService(GraphCatalog(), workers=workers) as service:
+        service.register(dataset, graph)
+        for algorithm in algorithms:  # pre-warm one artifact per analytic
+            service.run(_make_requests(
+                dataset, graph.num_nodes, 1, [algorithm], 0, transform)[0])
+        start = time.perf_counter()
+        latencies = []
+        for request in requests_for(dataset):
+            t0 = time.perf_counter()
+            result = service.run(request)
+            latencies.append(time.perf_counter() - t0)
+            assert result.ok and result.cache_hit
+        warm_elapsed = time.perf_counter() - start
+        _add_phase(
+            report, "warm-single", num_queries, warm_elapsed, latencies,
+            service.metrics.cache_hit_rate,
+        )
+
+    # -- warm-batched: shared catalog + coalesced submission -----------
+    with AnalyticsService(GraphCatalog(), workers=workers) as service:
+        service.register(dataset, graph)
+        for algorithm in algorithms:
+            service.run(_make_requests(
+                dataset, graph.num_nodes, 1, [algorithm], 0, transform)[0])
+        start = time.perf_counter()
+        tickets = service.submit_batch(requests_for(dataset))
+        results = [t.result() for t in tickets]
+        batched_elapsed = time.perf_counter() - start
+        assert all(r.ok and r.cache_hit for r in results)
+        latencies = [r.timings.total_s for r in results]
+        _add_phase(
+            report, "warm-batched", num_queries, batched_elapsed, latencies,
+            service.metrics.cache_hit_rate,
+        )
+
+    cold_qps = report.rows[0]["qps"]
+    report.extras["warm_single_speedup"] = report.rows[1]["qps"] / cold_qps
+    report.extras["warm_batched_speedup"] = report.rows[2]["qps"] / cold_qps
+    return report
+
+
+def _add_phase(
+    report: ExperimentReport,
+    phase: str,
+    count: int,
+    elapsed: float,
+    latencies: List[float],
+    hit_rate: float,
+) -> None:
+    from repro.service import percentile
+
+    report.add_row(
+        phase=phase,
+        queries=count,
+        seconds=elapsed,
+        qps=count / elapsed if elapsed > 0 else float("inf"),
+        p50_ms=percentile(latencies, 0.5) * 1e3,
+        p95_ms=percentile(latencies, 0.95) * 1e3,
+        cache_hit_rate=hit_rate,
+    )

@@ -59,3 +59,12 @@ class DeviceOutOfMemoryError(TigrError):
 
 class DatasetError(TigrError):
     """A named dataset stand-in does not exist or failed to generate."""
+
+
+class ServiceError(TigrError):
+    """The analytics serving layer rejected or failed a request.
+
+    Raised for unknown registered graphs, malformed query requests,
+    submissions against a stopped service, and queue overload when the
+    caller asked not to block (backpressure).
+    """

@@ -10,6 +10,7 @@ the underlying storage safely.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -48,7 +49,7 @@ class CSRGraph:
     (see :func:`repro.graph.builder.to_undirected`).
     """
 
-    __slots__ = ("_offsets", "_targets", "_weights")
+    __slots__ = ("_offsets", "_targets", "_weights", "_fingerprint")
 
     def __init__(
         self,
@@ -67,6 +68,7 @@ class CSRGraph:
         self._offsets = offsets
         self._targets = targets
         self._weights = weights
+        self._fingerprint: Optional[str] = None
         # Freeze the backing arrays: CSRGraph is an immutable value type.
         self._offsets.setflags(write=False)
         self._targets.setflags(write=False)
@@ -215,6 +217,30 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # Value semantics
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (hex SHA-256).
+
+        Two graphs with identical offsets, targets and weights share a
+        fingerprint across processes and sessions, which is what lets
+        the serving layer (:mod:`repro.service`) key transform
+        artifacts on graph *content* rather than object identity.
+        The digest covers the array shapes, the raw CSR bytes, and
+        whether a weight array is present; it is computed once and
+        cached (the backing arrays are frozen at construction).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(
+                f"csr:v1:{self.num_nodes}:{self.num_edges}:"
+                f"{int(self.is_weighted)}".encode("ascii")
+            )
+            digest.update(self._offsets.tobytes())
+            digest.update(self._targets.tobytes())
+            if self._weights is not None:
+                digest.update(self._weights.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):
             return NotImplemented

@@ -1,0 +1,53 @@
+"""Analytics serving layer: cache, batch, and multiplex queries.
+
+Everything below :mod:`repro.algorithms` computes one analytic on one
+graph, rebuilding its transform each call.  This package is the layer
+a production deployment actually talks to (the Gunrock lesson: a GPU
+graph library's value is its reusable runtime, not its kernels alone):
+
+* :class:`GraphCatalog` — a content-addressed transform-artifact
+  cache (LRU memory tier + optional ``.npz`` disk spill) amortising
+  the one-time transformation cost of §6.5/Table 7 across queries;
+* :class:`AnalyticsService` — typed :class:`QueryRequest` /
+  :class:`QueryResult` envelopes, a planner built on
+  :mod:`repro.core.selection` and :mod:`repro.core.applicability`,
+  same-graph request batching with source dedup, and a bounded-queue
+  thread pool with backpressure, per-request timeouts with graceful
+  degradation, and cancellation;
+* :class:`ServiceMetrics` — cache hit rate, queue depth, and
+  per-stage latency percentiles in the same reporting style as
+  :mod:`repro.gpu.metrics`.
+
+CLI: ``python -m repro query`` (one-shot) and ``python -m repro
+serve`` (synthetic concurrent workload driver).
+"""
+
+from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
+from repro.service.batching import QueryBatch, group_requests
+from repro.service.catalog import CatalogStats, GraphCatalog
+from repro.service.executor import AnalyticsService, QueryTicket, default_service
+from repro.service.metrics import QueryRecord, ServiceMetrics, percentile
+from repro.service.planner import QueryPlan, estimate_build_seconds, plan_query
+from repro.service.query import QueryRequest, QueryResult, StageTimings
+
+__all__ = [
+    "AnalyticsService",
+    "ArtifactKey",
+    "CatalogStats",
+    "GraphCatalog",
+    "QueryBatch",
+    "QueryPlan",
+    "QueryRecord",
+    "QueryRequest",
+    "QueryResult",
+    "QueryTicket",
+    "ServiceMetrics",
+    "StageTimings",
+    "TransformArtifact",
+    "default_service",
+    "estimate_build_seconds",
+    "group_requests",
+    "load_artifact",
+    "percentile",
+    "plan_query",
+]

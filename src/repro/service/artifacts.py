@@ -1,0 +1,266 @@
+"""Typed transform artifacts: what the catalog caches and spills.
+
+A transform artifact is one finished transformation of one concrete
+graph — a UDT :class:`~repro.core.types.TransformResult` or a
+:class:`~repro.core.virtual.VirtualGraph` — wrapped with exactly the
+metadata the cache needs: a content-addressed key, a byte size for
+budget accounting, and a lossless ``.npz`` round-trip so artifacts
+evicted from memory can be reloaded from disk *without redoing any
+transform work* (the point of the cache; Table 7 shows UDT costing
+10-60x the virtual transform, and both are pure overhead on a warm
+path).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.types import TransformResult, TransformStats
+from repro.core.virtual import VirtualGraph
+from repro.core.weights import DumbWeight
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph, NODE_DTYPE
+
+#: transform kinds the catalog understands.  ``none`` is never cached
+#: (there is nothing to reuse); it exists so plans can name it.
+TRANSFORM_KINDS = ("udt", "virtual", "virtual+")
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Content-addressed identity of one transform artifact.
+
+    Two requests that agree on all four fields are served by the same
+    artifact, no matter which ``CSRGraph`` *object* they carried: the
+    graph contributes its content fingerprint, not its identity.
+    ``dumb_weight`` only matters for physical transforms (UDT edge
+    weights differ between path and bottleneck analytics); virtual
+    overlays never add edges, so it is normalised to ``none`` there.
+    """
+
+    graph_fingerprint: str
+    kind: str  # "udt" | "virtual" | "virtual+"
+    degree_bound: int
+    dumb_weight: str = "none"  # DumbWeight.value for udt, "none" otherwise
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRANSFORM_KINDS:
+            raise ServiceError(
+                f"unknown transform kind {self.kind!r}; known: {TRANSFORM_KINDS}"
+            )
+
+    @staticmethod
+    def for_transform(
+        graph: CSRGraph,
+        kind: str,
+        degree_bound: int,
+        dumb_weight: DumbWeight = DumbWeight.NONE,
+    ) -> "ArtifactKey":
+        dw = dumb_weight.value if kind == "udt" else DumbWeight.NONE.value
+        return ArtifactKey(graph.fingerprint(), kind, int(degree_bound), dw)
+
+    def filename(self) -> str:
+        """Filesystem-safe spill file name for this key."""
+        kind = self.kind.replace("+", "p")
+        return (
+            f"{self.graph_fingerprint[:20]}-{kind}"
+            f"-k{self.degree_bound}-{self.dumb_weight}.npz"
+        )
+
+
+@dataclass(frozen=True)
+class TransformArtifact:
+    """One cached transformation plus its cache accounting.
+
+    ``payload`` is the library-native object an engine consumes
+    directly: a :class:`TransformResult` for ``udt`` keys, a
+    :class:`VirtualGraph` for virtual keys.  ``build_seconds`` records
+    what the transform cost to construct — it is what every cache hit
+    saves, and the catalog aggregates it into ``seconds_saved``.
+    """
+
+    key: ArtifactKey
+    payload: Union[TransformResult, VirtualGraph]
+    build_seconds: float
+
+    def nbytes(self) -> int:
+        """Bytes this artifact holds *beyond* the input graph.
+
+        UDT owns a full transformed CSR plus provenance arrays; a
+        virtual overlay shares the physical CSR (never copied, §4) and
+        is charged only for its overlay arrays.  This is the quantity
+        the catalog's byte budget meters.
+        """
+        if isinstance(self.payload, TransformResult):
+            return int(
+                self.payload.graph.nbytes()
+                + self.payload.node_origin.nbytes
+                + self.payload.new_edge_mask.nbytes
+            )
+        virtual = self.payload
+        return int(
+            virtual.first_virtual.nbytes
+            + virtual.physical_ids.nbytes
+            + virtual.virtual_degrees.nbytes
+            + virtual.family_rank.nbytes
+            + virtual.family_size.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Disk spill round-trip
+    # ------------------------------------------------------------------
+    def save_npz(self, path: str) -> None:
+        """Spill this artifact to a compressed numpy archive.
+
+        The archive stores the *derived* arrays, not a recipe: loading
+        reconstructs the payload without rerunning Algorithm 1 or the
+        virtual node-array construction.  Writes go through a
+        temporary file + rename so a crashed spill never leaves a
+        truncated archive for a later session to trip on.
+        """
+        meta = np.asarray(
+            [self.key.degree_bound, _KIND_CODES[self.key.kind]], dtype=np.int64
+        )
+        payload = {
+            "meta": meta,
+            "fingerprint": np.frombuffer(
+                self.key.graph_fingerprint.encode("ascii"), dtype=np.uint8
+            ),
+            "dumb_weight": np.frombuffer(
+                self.key.dumb_weight.encode("ascii"), dtype=np.uint8
+            ),
+            "build_seconds": np.asarray([self.build_seconds]),
+        }
+        if isinstance(self.payload, TransformResult):
+            result = self.payload
+            stats = result.stats
+            payload.update(
+                offsets=result.graph.offsets,
+                targets=result.graph.targets,
+                node_origin=result.node_origin,
+                new_edge_mask=result.new_edge_mask,
+                scalars=np.asarray(
+                    [
+                        result.num_original_nodes,
+                        stats.degree_bound,
+                        stats.num_families,
+                        stats.new_nodes,
+                        stats.new_edges,
+                        stats.max_degree_after,
+                        stats.max_family_hops,
+                    ],
+                    dtype=np.int64,
+                ),
+            )
+            if result.graph.weights is not None:
+                payload["weights"] = result.graph.weights
+        else:
+            virtual = self.payload
+            payload.update(
+                offsets=virtual.physical.offsets,
+                targets=virtual.physical.targets,
+                first_virtual=virtual.first_virtual,
+                physical_ids=virtual.physical_ids,
+                virtual_degrees=virtual.virtual_degrees,
+                family_rank=virtual.family_rank,
+                family_size=virtual.family_size,
+            )
+            if virtual.physical.weights is not None:
+                payload["weights"] = virtual.physical.weights
+        # savez appends ".npz" to names without it; keep the suffix so
+        # the temp path we write is the temp path we rename.
+        tmp = f"{path}.tmp-{os.getpid()}.npz"
+        try:
+            np.savez_compressed(tmp, **payload)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+
+def load_artifact(path: str) -> TransformArtifact:
+    """Reload an artifact spilled by :meth:`TransformArtifact.save_npz`."""
+    with np.load(path) as archive:
+        degree_bound, kind_code = (int(v) for v in archive["meta"])
+        kind = _KIND_NAMES[kind_code]
+        key = ArtifactKey(
+            graph_fingerprint=bytes(archive["fingerprint"]).decode("ascii"),
+            kind=kind,
+            degree_bound=degree_bound,
+            dumb_weight=bytes(archive["dumb_weight"]).decode("ascii"),
+        )
+        build_seconds = float(archive["build_seconds"][0])
+        weights = archive["weights"] if "weights" in archive.files else None
+        if kind == "udt":
+            scalars = archive["scalars"]
+            graph = CSRGraph(
+                archive["offsets"], archive["targets"], weights, validate=False
+            )
+            stats = TransformStats(
+                degree_bound=int(scalars[1]),
+                num_families=int(scalars[2]),
+                new_nodes=int(scalars[3]),
+                new_edges=int(scalars[4]),
+                max_degree_after=int(scalars[5]),
+                max_family_hops=int(scalars[6]),
+            )
+            payload: Union[TransformResult, VirtualGraph] = TransformResult(
+                graph=graph,
+                node_origin=np.ascontiguousarray(archive["node_origin"], NODE_DTYPE),
+                new_edge_mask=np.ascontiguousarray(archive["new_edge_mask"], bool),
+                num_original_nodes=int(scalars[0]),
+                stats=stats,
+            )
+        else:
+            physical = CSRGraph(
+                archive["offsets"], archive["targets"], weights, validate=False
+            )
+            payload = _rebuild_virtual(
+                physical,
+                degree_bound,
+                coalesced=kind == "virtual+",
+                first_virtual=np.ascontiguousarray(archive["first_virtual"], NODE_DTYPE),
+                physical_ids=np.ascontiguousarray(archive["physical_ids"], NODE_DTYPE),
+                virtual_degrees=np.ascontiguousarray(
+                    archive["virtual_degrees"], NODE_DTYPE
+                ),
+                family_rank=np.ascontiguousarray(archive["family_rank"], NODE_DTYPE),
+                family_size=np.ascontiguousarray(archive["family_size"], NODE_DTYPE),
+            )
+    return TransformArtifact(key=key, payload=payload, build_seconds=build_seconds)
+
+
+def _rebuild_virtual(
+    physical: CSRGraph,
+    degree_bound: int,
+    *,
+    coalesced: bool,
+    first_virtual: np.ndarray,
+    physical_ids: np.ndarray,
+    virtual_degrees: np.ndarray,
+    family_rank: np.ndarray,
+    family_size: np.ndarray,
+) -> VirtualGraph:
+    """Reassemble a :class:`VirtualGraph` from its spilled arrays.
+
+    Bypasses ``__init__`` deliberately: the constructor *derives* the
+    overlay arrays, and a disk hit must not pay that derivation again.
+    """
+    virtual = VirtualGraph.__new__(VirtualGraph)
+    virtual.physical = physical
+    virtual.degree_bound = int(degree_bound)
+    virtual.coalesced = bool(coalesced)
+    virtual.first_virtual = first_virtual
+    virtual.physical_ids = physical_ids
+    virtual.virtual_degrees = virtual_degrees
+    virtual.family_rank = family_rank
+    virtual.family_size = family_size
+    return virtual
+
+
+_KIND_CODES = {"udt": 0, "virtual": 1, "virtual+": 2}
+_KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}

@@ -1,0 +1,146 @@
+"""Request batching: same-graph queries share one plan and one fan-out.
+
+Serving traffic is dominated by *many sources on few graphs* (every
+"distance from me" product query is the same graph with a different
+root).  The batcher exploits that shape:
+
+* requests agreeing on (graph content, algorithm, transform, K,
+  engine options) coalesce into one :class:`QueryBatch`;
+* sources are merged and **deduplicated** across the batch — two
+  users asking for the same root pay for one traversal;
+* the batch executes through the multi-source fan-out helpers
+  (:mod:`repro.algorithms.multi_source`) on a *single* resolved
+  transform artifact, so the per-request cost is one engine run, never
+  one transform;
+* sourceless analytics (CC/PR) collapse even harder: the whole batch
+  is one engine run whose result every member shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.multi_source import multi_source_distances
+from repro.baselines._run import run_algorithm
+from repro.baselines.base import ALGORITHMS
+from repro.engine.push import EngineOptions
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.service.query import QueryRequest
+
+#: analytics whose fan-out goes through ``multi_source_distances``.
+_DISTANCE_FANOUT = {"bfs": False, "sssp": True}  # name -> weighted flag
+
+
+@dataclass
+class QueryBatch:
+    """A group of requests served by one plan and one artifact."""
+
+    graph: CSRGraph
+    algorithm: str
+    transform: str
+    degree_bound: int  # 0 = planner decides
+    options: EngineOptions
+    requests: List[QueryRequest] = field(default_factory=list)
+
+    @property
+    def sources(self) -> Tuple[int, ...]:
+        """Deduplicated, sorted union of member sources."""
+        merged = sorted({s for req in self.requests for s in req.sources})
+        return tuple(merged)
+
+    @property
+    def tightest_timeout_s(self) -> float:
+        """Smallest member timeout (inf when none set); drives degradation."""
+        timeouts = [r.timeout_s for r in self.requests if r.timeout_s is not None]
+        return min(timeouts) if timeouts else float("inf")
+
+    @property
+    def sources_deduped(self) -> int:
+        """How many per-source runs dedup avoided."""
+        return sum(len(r.sources) for r in self.requests) - len(self.sources)
+
+
+def group_requests(
+    requests: List[QueryRequest],
+    resolve_graph: Callable[[QueryRequest], CSRGraph],
+) -> List[QueryBatch]:
+    """Partition requests into maximal batches, preserving order.
+
+    Grouping is by graph *content* (fingerprint), so the same dataset
+    registered under two names, or passed inline twice, still
+    coalesces.  Requests differing in transform, K, or engine options
+    must not share an artifact and land in separate batches.
+    """
+    batches: Dict[tuple, QueryBatch] = {}
+    for request in requests:
+        graph = resolve_graph(request)
+        for source in request.sources:
+            if not 0 <= source < graph.num_nodes:
+                raise ServiceError(
+                    f"source {source} out of range for graph with "
+                    f"{graph.num_nodes} nodes (request {request.request_id})"
+                )
+        key = (
+            graph.fingerprint(),
+            request.algorithm,
+            request.transform,
+            request.degree_bound or 0,
+            request.options,
+        )
+        batch = batches.get(key)
+        if batch is None:
+            batch = batches[key] = QueryBatch(
+                graph=graph,
+                algorithm=request.algorithm,
+                transform=request.transform,
+                degree_bound=request.degree_bound or 0,
+                options=request.options,
+            )
+        batch.requests.append(request)
+    return list(batches.values())
+
+
+def run_batch_on_target(
+    batch: QueryBatch, target
+) -> Dict[int, Dict[int, np.ndarray]]:
+    """Execute a batch on a resolved engine target.
+
+    ``target`` is whatever the plan produced: a raw :class:`CSRGraph`,
+    a transformed graph, or a :class:`~repro.core.virtual.VirtualGraph`.
+    Returns ``request_id -> (source -> values)``; values are in the
+    *target's* node space (the executor projects physically transformed
+    results back to original ids).  Each unique source is executed
+    exactly once and fanned out to every request that asked for it.
+    """
+    algorithm = batch.algorithm
+    per_source: Dict[int, np.ndarray] = {}
+    if algorithm in _DISTANCE_FANOUT:
+        sources = batch.sources
+        rows = multi_source_distances(
+            target,
+            list(sources),
+            weighted=_DISTANCE_FANOUT[algorithm],
+            options=batch.options,
+        )
+        per_source = {source: rows[i] for i, source in enumerate(sources)}
+    elif ALGORITHMS[algorithm].needs_source:  # sswp, bc: per-source engine runs
+        for source in batch.sources:
+            values, _, _ = run_algorithm(
+                target, algorithm, source, batch.options, None
+            )
+            per_source[source] = values
+    else:  # cc, pr: one run shared by the whole batch
+        values, _, _ = run_algorithm(target, algorithm, None, batch.options, None)
+        per_source[-1] = values
+
+    out: Dict[int, Dict[int, np.ndarray]] = {}
+    for request in batch.requests:
+        if request.sources:
+            out[request.request_id] = {s: per_source[s] for s in request.sources}
+        else:
+            out[request.request_id] = {-1: per_source[-1]}
+    return out

@@ -1,0 +1,312 @@
+"""GraphCatalog: the transform-artifact cache behind the serving layer.
+
+Tigr's transformations are a one-time cost meant to be amortised over
+many analytics runs (§6.5, Table 7) — but every pre-existing entry
+point of this library rebuilt them per call.  The catalog fixes that:
+
+* **memory tier** — an LRU over :class:`TransformArtifact` entries
+  with byte-size accounting against a configurable budget;
+* **disk tier (optional)** — evicted artifacts spill to ``.npz``
+  files in a directory and are reloaded (and re-promoted) on the next
+  miss, still cheaper than re-transforming;
+* **single-flight builds** — concurrent requests for the same key
+  block on one builder instead of duplicating the transform, which is
+  what makes the cache safe under the concurrent executor.
+
+Keys are content-addressed (:class:`ArtifactKey`): the same graph
+loaded twice, or regenerated from the same seed, hits the same entry.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.core.weights import DumbWeight
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
+
+
+@dataclass
+class CatalogStats:
+    """Counters the serving metrics report (all monotone except bytes)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    spills: int = 0
+    builds: int = 0
+    #: current bytes held by the memory tier.
+    bytes_in_memory: int = 0
+    #: transform seconds avoided by hits (memory + disk).
+    seconds_saved: float = 0.0
+    #: transform seconds actually spent building on misses.
+    seconds_building: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Memory+disk hits over all lookups (1.0 on an all-warm run)."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.disk_hits) / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "spills": self.spills,
+            "builds": self.builds,
+            "bytes_in_memory": self.bytes_in_memory,
+            "hit_rate": self.hit_rate,
+            "seconds_saved": self.seconds_saved,
+            "seconds_building": self.seconds_building,
+        }
+
+
+class GraphCatalog:
+    """Content-addressed LRU cache of transform artifacts.
+
+    Parameters
+    ----------
+    memory_budget_bytes:
+        Byte budget of the memory tier.  Inserting past the budget
+        evicts least-recently-used artifacts first.  An artifact
+        larger than the whole budget is still served but never
+        retained (degenerate one-entry thrash is pointless).
+    spill_dir:
+        Directory for the disk tier; ``None`` disables spilling, and
+        evicted artifacts are simply dropped.
+    max_entries:
+        Optional cap on entry *count* in the memory tier, applied on
+        top of the byte budget (useful in tests; default unlimited).
+    """
+
+    def __init__(
+        self,
+        memory_budget_bytes: int = 256 * 1024 * 1024,
+        *,
+        spill_dir: Optional[str] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if memory_budget_bytes < 0:
+            raise ServiceError(
+                f"memory budget must be >= 0, got {memory_budget_bytes}"
+            )
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.spill_dir = spill_dir
+        self.max_entries = max_entries
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+        self.stats = CatalogStats()
+        self._entries: "OrderedDict[ArtifactKey, TransformArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: per-key build locks for single-flight construction.
+        self._building: Dict[ArtifactKey, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self):
+        """Memory-tier keys in LRU order (oldest first); a snapshot."""
+        with self._lock:
+            return list(self._entries)
+
+    def peek(self, key: ArtifactKey) -> Optional[TransformArtifact]:
+        """Memory-tier lookup without touching recency or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def get_or_build(
+        self,
+        graph: CSRGraph,
+        kind: str,
+        degree_bound: int,
+        *,
+        dumb_weight: DumbWeight = DumbWeight.NONE,
+        builder: Optional[Callable[[], TransformArtifact]] = None,
+    ) -> TransformArtifact:
+        """Return the artifact for ``(graph, kind, K)``, building at most once.
+
+        Lookup order: memory tier (hit), disk tier (disk hit, promoted
+        back to memory), then build.  Concurrent callers for the same
+        key serialise on a per-key lock so the transform runs exactly
+        once; callers for *different* keys do not block each other.
+        ``builder`` overrides the default transform construction
+        (tests use it to count invocations).
+        """
+        artifact, _ = self.get_or_build_with_origin(
+            graph, kind, degree_bound, dumb_weight=dumb_weight, builder=builder
+        )
+        return artifact
+
+    def get_or_build_with_origin(
+        self,
+        graph: CSRGraph,
+        kind: str,
+        degree_bound: int,
+        *,
+        dumb_weight: DumbWeight = DumbWeight.NONE,
+        builder: Optional[Callable[[], TransformArtifact]] = None,
+    ) -> "tuple[TransformArtifact, str]":
+        """Like :meth:`get_or_build` but also reports where it came from.
+
+        The second element is ``"memory"``, ``"disk"``, or ``"built"``
+        — the serving layer surfaces it as each request's
+        ``cache_hit`` flag and in the metrics.  A caller who waited on
+        another caller's in-flight build observes ``"memory"``: from
+        its perspective the artifact was served, not built.
+        """
+        key = ArtifactKey.for_transform(graph, kind, degree_bound, dumb_weight)
+        found, origin = self._lookup(key)
+        if found is not None:
+            return found, origin
+        build_lock = self._build_lock(key)
+        with build_lock:
+            # Someone may have finished building while we waited.
+            found, origin = self._lookup(key, recount=False)
+            if found is not None:
+                return found, origin
+            artifact = (builder or (lambda: self._build(graph, key)))()
+            with self._lock:
+                self.stats.builds += 1
+                self.stats.seconds_building += artifact.build_seconds
+            self._insert(key, artifact)
+            return artifact, "built"
+
+    def _lookup(
+        self, key: ArtifactKey, *, recount: bool = True
+    ) -> "tuple[Optional[TransformArtifact], str]":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                if recount:
+                    self.stats.hits += 1
+                    self.stats.seconds_saved += entry.build_seconds
+                return entry, "memory"
+        # Disk tier, outside the memory lock: loads can be slow.
+        loaded = self._load_spilled(key)
+        if loaded is not None:
+            with self._lock:
+                if recount:
+                    self.stats.misses += 1
+                    self.stats.disk_hits += 1
+                    self.stats.seconds_saved += loaded.build_seconds
+            self._insert(key, loaded)
+            return loaded, "disk"
+        if recount:
+            with self._lock:
+                self.stats.misses += 1
+        return None, "absent"
+
+    def _build(self, graph: CSRGraph, key: ArtifactKey) -> TransformArtifact:
+        start = time.perf_counter()
+        if key.kind == "udt":
+            payload = udt_transform(
+                graph, key.degree_bound, dumb_weight=DumbWeight(key.dumb_weight)
+            )
+        else:
+            payload = virtual_transform(
+                graph, key.degree_bound, coalesced=key.kind == "virtual+"
+            )
+        return TransformArtifact(
+            key=key, payload=payload, build_seconds=time.perf_counter() - start
+        )
+
+    def _insert(self, key: ArtifactKey, artifact: TransformArtifact) -> None:
+        size = artifact.nbytes()
+        if size > self.memory_budget_bytes:
+            return  # larger than the whole tier: serve it, don't retain it
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.stats.bytes_in_memory -= old.nbytes()
+            self._entries[key] = artifact
+            self.stats.bytes_in_memory += size
+            evicted = []
+            while self._entries and (
+                self.stats.bytes_in_memory > self.memory_budget_bytes
+                or (self.max_entries is not None and len(self._entries) > self.max_entries)
+            ):
+                victim_key, victim = self._entries.popitem(last=False)
+                self.stats.bytes_in_memory -= victim.nbytes()
+                self.stats.evictions += 1
+                evicted.append((victim_key, victim))
+        for victim_key, victim in evicted:
+            self._spill(victim_key, victim)
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _spill_path(self, key: ArtifactKey) -> Optional[str]:
+        if self.spill_dir is None:
+            return None
+        return os.path.join(self.spill_dir, key.filename())
+
+    def _spill(self, key: ArtifactKey, artifact: TransformArtifact) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        if not os.path.exists(path):
+            artifact.save_npz(path)
+        with self._lock:
+            self.stats.spills += 1
+
+    def _load_spilled(self, key: ArtifactKey) -> Optional[TransformArtifact]:
+        path = self._spill_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            return load_artifact(path)
+        except (OSError, KeyError, ValueError):
+            # A corrupt spill file is a miss, not an outage.
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear(self, *, drop_spilled: bool = False) -> None:
+        """Empty the memory tier (and optionally the disk tier)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes_in_memory = 0
+        if drop_spilled and self.spill_dir is not None:
+            for name in os.listdir(self.spill_dir):
+                if name.endswith(".npz"):
+                    os.remove(os.path.join(self.spill_dir, name))
+
+    def _build_lock(self, key: ArtifactKey) -> threading.Lock:
+        with self._lock:
+            lock = self._building.get(key)
+            if lock is None:
+                lock = self._building[key] = threading.Lock()
+            return lock
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphCatalog(entries={len(self._entries)}, "
+            f"bytes={self.stats.bytes_in_memory}/{self.memory_budget_bytes}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

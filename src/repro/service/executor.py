@@ -1,0 +1,496 @@
+"""AnalyticsService: concurrent, cache-backed query execution.
+
+The service owns a bounded submission queue and a thread pool of
+workers.  The full pipeline per work item is::
+
+    submit -> [bounded queue] -> plan -> resolve artifact -> execute
+                                  |            |
+                        degradation on    GraphCatalog
+                        tight deadlines   (LRU + spill)
+
+Design points, each of which the tests pin down:
+
+* **backpressure** — the queue is bounded; a non-blocking submit
+  against a full queue raises :class:`~repro.errors.ServiceError`
+  instead of buffering without limit;
+* **batching** — :meth:`submit_batch` coalesces same-graph requests
+  into one plan + one artifact resolution + one deduplicated source
+  fan-out (see :mod:`repro.service.batching`);
+* **timeouts** — a request still queued past its deadline fails fast;
+  a cold-cache request whose remaining deadline cannot fund the
+  transform build degrades to the untransformed CSR (correct answer,
+  no amortisable work) rather than failing;
+* **cancellation** — a ticket can be cancelled any time before a
+  worker claims it; cancellation after claiming is refused (results
+  are about to exist);
+* **single-flight transforms** — concurrent cold queries for one
+  artifact build it once (catalog build locks), everyone else waits
+  and then hits.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.baselines.base import ALGORITHMS, prepare_graph
+from repro.core.types import TransformResult
+from repro.errors import ServiceError, TigrError
+from repro.graph.csr import CSRGraph
+from repro.service.batching import QueryBatch, group_requests, run_batch_on_target
+from repro.service.catalog import GraphCatalog
+from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.planner import degrade_for_deadline, plan_query
+from repro.service.query import QueryRequest, QueryResult, StageTimings
+
+
+class QueryTicket:
+    """Handle for one submitted request (a minimal future).
+
+    ``result()`` blocks until the worker finishes (or the optional
+    wait timeout elapses); ``cancel()`` succeeds only while the
+    request is still queued.
+    """
+
+    def __init__(self, request: QueryRequest, submitted_at: float) -> None:
+        self.request = request
+        self.submitted_at = submitted_at
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result: Optional[QueryResult] = None
+        self._cancelled = False
+        self._claimed = False
+
+    @property
+    def deadline(self) -> float:
+        if self.request.timeout_s is None:
+            return float("inf")
+        return self.submitted_at + self.request.timeout_s
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; returns whether it took effect."""
+        with self._lock:
+            if self._claimed or self._event.is_set():
+                return False
+            self._cancelled = True
+        self._resolve(
+            QueryResult(
+                request_id=self.request.request_id,
+                algorithm=self.request.algorithm,
+                values={},
+                transform="none",
+                degree_bound=0,
+                error="cancelled",
+            )
+        )
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """The finished :class:`QueryResult` (waits for it if needed)."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"request {self.request.request_id} not finished "
+                f"within {timeout}s wait"
+            )
+        assert self._result is not None
+        return self._result
+
+    # -- worker side ---------------------------------------------------
+    def _claim(self) -> bool:
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._claimed = True
+            return True
+
+    def _resolve(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+
+@dataclass
+class _WorkItem:
+    batch: QueryBatch
+    tickets: List[QueryTicket]
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class AnalyticsService:
+    """The serving layer: graphs in, concurrent analytics out.
+
+    Parameters
+    ----------
+    catalog:
+        Shared transform-artifact cache; a private 256 MiB in-memory
+        catalog is created when omitted.
+    workers:
+        Worker thread count.  The engines are numpy-heavy, so threads
+        overlap usefully despite the GIL (a process pool is an open
+        roadmap item).
+    queue_size:
+        Bound of the submission queue — the backpressure knob.
+    default_timeout_s:
+        Applied to requests that specify no timeout (``None`` = no
+        deadline).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[GraphCatalog] = None,
+        *,
+        workers: int = 2,
+        queue_size: int = 64,
+        default_timeout_s: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"need at least one worker, got {workers}")
+        if queue_size < 1:
+            raise ServiceError(f"queue size must be >= 1, got {queue_size}")
+        self.catalog = catalog if catalog is not None else GraphCatalog()
+        self.metrics = ServiceMetrics(self.catalog.stats)
+        self.default_timeout_s = default_timeout_s
+        self._graphs: Dict[str, CSRGraph] = {}
+        self._prepared: Dict[Tuple[str, bool, bool], CSRGraph] = {}
+        self._prepared_lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(maxsize=queue_size)
+        self._stopped = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"repro-serve-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Graph registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, graph: CSRGraph) -> str:
+        """Register ``graph`` under ``name``; returns its fingerprint."""
+        self._graphs[name] = graph
+        return graph.fingerprint()
+
+    def registered(self) -> Dict[str, CSRGraph]:
+        return dict(self._graphs)
+
+    def _resolve_graph(self, request: QueryRequest) -> CSRGraph:
+        if isinstance(request.graph, CSRGraph):
+            return request.graph
+        graph = self._graphs.get(request.graph)
+        if graph is None:
+            raise ServiceError(
+                f"unknown graph {request.graph!r}; registered: "
+                + (", ".join(sorted(self._graphs)) or "(none)")
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: QueryRequest,
+        *,
+        block: bool = True,
+        submit_timeout_s: Optional[float] = None,
+    ) -> QueryTicket:
+        """Queue one request; returns its ticket.
+
+        With ``block=False`` (or a ``submit_timeout_s`` that elapses)
+        a full queue raises :class:`ServiceError` — that is the
+        backpressure contract: overload is surfaced to the caller, not
+        absorbed into unbounded memory.
+        """
+        return self.submit_batch(
+            [request], block=block, submit_timeout_s=submit_timeout_s
+        )[0]
+
+    def submit_batch(
+        self,
+        requests: List[QueryRequest],
+        *,
+        block: bool = True,
+        submit_timeout_s: Optional[float] = None,
+    ) -> List[QueryTicket]:
+        """Queue several requests, coalescing compatible ones.
+
+        Same-graph/algorithm/plan requests become one work item with
+        deduplicated sources; each still gets its own ticket and its
+        own :class:`QueryResult`.  Tickets are returned in request
+        order.
+        """
+        if self._stopped:
+            raise ServiceError("service is stopped")
+        if not requests:
+            return []
+        requests = [self._with_default_timeout(r) for r in requests]
+        now = time.perf_counter()
+        tickets = {r.request_id: QueryTicket(r, now) for r in requests}
+        for batch in group_requests(requests, self._resolve_graph):
+            item = _WorkItem(
+                batch=batch,
+                tickets=[tickets[r.request_id] for r in batch.requests],
+            )
+            try:
+                self._queue.put(item, block=block, timeout=submit_timeout_s)
+            except queue.Full:
+                for ticket in item.tickets:
+                    ticket.cancel()
+                raise ServiceError(
+                    f"submission queue full ({self._queue.maxsize} pending); "
+                    f"retry later or raise queue_size"
+                ) from None
+            self.metrics.queue_depth_changed(self._queue.qsize())
+        return [tickets[r.request_id] for r in requests]
+
+    def run(self, request: QueryRequest, *, timeout: Optional[float] = None) -> QueryResult:
+        """Submit and wait: the one-call synchronous convenience."""
+        return self.submit(request).result(timeout)
+
+    def _with_default_timeout(self, request: QueryRequest) -> QueryRequest:
+        if request.timeout_s is not None or self.default_timeout_s is None:
+            return request
+        return QueryRequest(
+            algorithm=request.algorithm,
+            graph=request.graph,
+            sources=request.sources,
+            transform=request.transform,
+            degree_bound=request.degree_bound,
+            timeout_s=self.default_timeout_s,
+            options=request.options,
+            request_id=request.request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers.
+
+        Already-queued work is drained before the workers exit.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "AnalyticsService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker pipeline
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            self.metrics.queue_depth_changed(self._queue.qsize())
+            if item is None:
+                return
+            try:
+                self._process(item)
+            finally:
+                self._queue.task_done()
+
+    def _process(self, item: _WorkItem) -> None:
+        dequeued_at = time.perf_counter()
+        queue_s = dequeued_at - item.enqueued_at
+
+        live: List[QueryTicket] = []
+        for ticket in item.tickets:
+            if ticket._claim():
+                live.append(ticket)
+            else:
+                self.metrics.record(
+                    QueryRecord(
+                        stage_seconds={"queue": queue_s},
+                        cache_hit=False, degraded=False, timed_out=False,
+                        cancelled=True, failed=False,
+                    )
+                )
+        if not live:
+            return
+
+        # A request whose deadline passed while queued fails fast.
+        expired = [t for t in live if dequeued_at > t.deadline]
+        live = [t for t in live if dequeued_at <= t.deadline]
+        for ticket in expired:
+            self._fail(
+                ticket, "timed out in queue", queue_s=queue_s, timed_out=True
+            )
+        if not live:
+            return
+
+        batch = QueryBatch(
+            graph=item.batch.graph,
+            algorithm=item.batch.algorithm,
+            transform=item.batch.transform,
+            degree_bound=item.batch.degree_bound,
+            options=item.batch.options,
+            requests=[t.request for t in live],
+        )
+        try:
+            self._execute(batch, live, queue_s)
+        except TigrError as exc:
+            for ticket in live:
+                self._fail(ticket, str(exc), queue_s=queue_s)
+        except Exception as exc:  # pragma: no cover - defensive
+            for ticket in live:
+                self._fail(ticket, f"internal error: {exc!r}", queue_s=queue_s)
+
+    def _execute(
+        self, batch: QueryBatch, tickets: List[QueryTicket], queue_s: float
+    ) -> None:
+        plan_start = time.perf_counter()
+        prepared = self._prepare(batch.graph, batch.algorithm)
+        representative = batch.requests[0]
+        plan = plan_query(representative, prepared)
+        if plan.caches:
+            cached = (
+                self.catalog.peek(
+                    _artifact_key(prepared, plan)
+                ) is not None
+            )
+            remaining = min(t.deadline for t in tickets) - time.perf_counter()
+            plan = degrade_for_deadline(
+                plan, prepared, remaining, artifact_cached=cached
+            )
+        plan_s = time.perf_counter() - plan_start
+
+        transform_start = time.perf_counter()
+        cache_hit = False
+        projector: Optional[TransformResult] = None
+        if plan.caches:
+            artifact, origin = self.catalog.get_or_build_with_origin(
+                prepared, plan.transform, plan.degree_bound,
+                dumb_weight=plan.dumb_weight,
+            )
+            cache_hit = origin != "built"
+            target: Union[CSRGraph, object] = artifact.payload
+            if isinstance(artifact.payload, TransformResult):
+                projector = artifact.payload
+                target = artifact.payload.graph
+        else:
+            target = prepared
+        transform_s = time.perf_counter() - transform_start
+
+        execute_start = time.perf_counter()
+        per_request = run_batch_on_target(batch, target)
+        execute_s = time.perf_counter() - execute_start
+
+        finished_at = time.perf_counter()
+        for index, ticket in enumerate(tickets):
+            values = per_request[ticket.request.request_id]
+            if projector is not None:
+                values = {
+                    source: projector.read_values(row)
+                    for source, row in values.items()
+                }
+            timings = StageTimings(
+                queue_s=queue_s, plan_s=plan_s,
+                transform_s=transform_s, execute_s=execute_s,
+            )
+            timed_out = finished_at > ticket.deadline
+            ticket._resolve(
+                QueryResult(
+                    request_id=ticket.request.request_id,
+                    algorithm=batch.algorithm,
+                    values=values,
+                    transform=plan.transform,
+                    degree_bound=plan.degree_bound,
+                    cache_hit=cache_hit,
+                    degraded=plan.degraded,
+                    batched_with=len(tickets) - 1,
+                    timings=timings,
+                )
+            )
+            self.metrics.record(
+                QueryRecord(
+                    stage_seconds={
+                        "queue": queue_s, "plan": plan_s,
+                        "transform": transform_s, "execute": execute_s,
+                        "total": timings.total_s,
+                    },
+                    cache_hit=cache_hit,
+                    degraded=plan.degraded,
+                    timed_out=timed_out,
+                    cancelled=False,
+                    failed=False,
+                    # batch-level quantities are attributed once per
+                    # batch, not once per member, so the aggregate
+                    # counters stay interpretable.
+                    batched_with=len(tickets) - 1 if index == 0 else 0,
+                    sources_deduped=batch.sources_deduped if index == 0 else 0,
+                )
+            )
+
+    def _prepare(self, graph: CSRGraph, algorithm: str) -> CSRGraph:
+        """Per-algorithm graph preparation, cached by content.
+
+        ``prepare_graph`` symmetrises for CC and strips weights for the
+        unweighted analytics — O(|E|) work worth amortising across
+        requests just like the transforms themselves.
+        """
+        spec = ALGORITHMS[algorithm]
+        key = (graph.fingerprint(), spec.symmetrize, spec.weighted)
+        with self._prepared_lock:
+            prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = prepare_graph(graph, algorithm)
+            with self._prepared_lock:
+                prepared = self._prepared.setdefault(key, prepared)
+        return prepared
+
+    def _fail(
+        self,
+        ticket: QueryTicket,
+        message: str,
+        *,
+        queue_s: float,
+        timed_out: bool = False,
+    ) -> None:
+        ticket._resolve(
+            QueryResult(
+                request_id=ticket.request.request_id,
+                algorithm=ticket.request.algorithm,
+                values={},
+                transform="none",
+                degree_bound=0,
+                timings=StageTimings(queue_s=queue_s),
+                error=message,
+            )
+        )
+        self.metrics.record(
+            QueryRecord(
+                stage_seconds={"queue": queue_s, "total": queue_s},
+                cache_hit=False, degraded=False, timed_out=timed_out,
+                cancelled=False, failed=True,
+            )
+        )
+
+
+def _artifact_key(prepared: CSRGraph, plan) -> "object":
+    from repro.service.artifacts import ArtifactKey
+
+    return ArtifactKey.for_transform(
+        prepared, plan.transform, plan.degree_bound, plan.dumb_weight
+    )
+
+
+def default_service(**kwargs) -> AnalyticsService:
+    """An :class:`AnalyticsService` with library-default sizing."""
+    return AnalyticsService(**kwargs)

@@ -1,0 +1,144 @@
+"""Serving metrics: cache hit rate, queue depth, stage latencies.
+
+Mirrors the conventions of :mod:`repro.gpu.metrics`: small dataclass
+records accumulated into an aggregate with derived properties and a
+flat ``summary()`` dict for table/JSON formatting.  Everything is
+thread-safe — workers record concurrently — and cheap enough to stay
+on by default (a lock and a list append per stage).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.service.catalog import CatalogStats
+
+#: serving stages with recorded latencies, in pipeline order.
+STAGES = ("queue", "plan", "transform", "execute", "total")
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (0 for an empty sample set).
+
+    Nearest-rank (not interpolated) so reported p95s are latencies
+    that actually happened, which is what an operator pages on.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Per-query observation the aggregate consumes."""
+
+    stage_seconds: Dict[str, float]
+    cache_hit: bool
+    degraded: bool
+    timed_out: bool
+    cancelled: bool
+    failed: bool
+    batched_with: int = 0
+    sources_deduped: int = 0
+
+
+class ServiceMetrics:
+    """Aggregate serving telemetry for one :class:`AnalyticsService`."""
+
+    def __init__(self, catalog_stats: Optional[CatalogStats] = None) -> None:
+        self._lock = threading.Lock()
+        self._stage_samples: Dict[str, List[float]] = {s: [] for s in STAGES}
+        self._catalog_stats = catalog_stats
+        self.queries_total = 0
+        self.queries_failed = 0
+        self.queries_degraded = 0
+        self.queries_timed_out = 0
+        self.queries_cancelled = 0
+        self.cache_hits = 0
+        self.batches_merged = 0
+        self.sources_deduped = 0
+        #: high-water mark of the submission queue.
+        self.max_queue_depth = 0
+        self._queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by the executor)
+    # ------------------------------------------------------------------
+    def record(self, record: QueryRecord) -> None:
+        with self._lock:
+            self.queries_total += 1
+            self.queries_failed += int(record.failed)
+            self.queries_degraded += int(record.degraded)
+            self.queries_timed_out += int(record.timed_out)
+            self.queries_cancelled += int(record.cancelled)
+            self.cache_hits += int(record.cache_hit)
+            self.batches_merged += record.batched_with
+            self.sources_deduped += record.sources_deduped
+            for stage, seconds in record.stage_seconds.items():
+                if stage in self._stage_samples:
+                    self._stage_samples[stage].append(seconds)
+
+    def queue_depth_changed(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (a gauge, not a counter)."""
+        with self._lock:
+            return self._queue_depth
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of served queries whose artifact was already cached."""
+        with self._lock:
+            if self.queries_total == 0:
+                return 0.0
+            return self.cache_hits / self.queries_total
+
+    def stage_percentile(self, stage: str, fraction: float) -> float:
+        """Latency percentile (seconds) of one serving stage."""
+        with self._lock:
+            return percentile(self._stage_samples[stage], fraction)
+
+    def latency_percentiles(
+        self, fractions: tuple = (0.5, 0.95, 0.99)
+    ) -> Dict[str, Dict[str, float]]:
+        """``stage -> {"p50": s, ...}`` for all recorded stages."""
+        with self._lock:
+            return {
+                stage: {
+                    f"p{int(f * 100)}": percentile(samples, f) for f in fractions
+                }
+                for stage, samples in self._stage_samples.items()
+            }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table formatting, like ``RunMetrics.summary``."""
+        out: Dict[str, float] = {
+            "queries_total": self.queries_total,
+            "queries_failed": self.queries_failed,
+            "queries_degraded": self.queries_degraded,
+            "queries_timed_out": self.queries_timed_out,
+            "queries_cancelled": self.queries_cancelled,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batches_merged": self.batches_merged,
+            "sources_deduped": self.sources_deduped,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+        }
+        for stage, values in self.latency_percentiles((0.5, 0.95)).items():
+            for name, seconds in values.items():
+                out[f"{stage}_{name}_ms"] = seconds * 1e3
+        if self._catalog_stats is not None:
+            for key, value in self._catalog_stats.as_dict().items():
+                out[f"catalog_{key}"] = value
+        return out

@@ -1,0 +1,161 @@
+"""Query planner: transform choice, degree bound, and degradation.
+
+The planner turns a :class:`~repro.service.query.QueryRequest` into a
+concrete :class:`QueryPlan` using the library's existing decision
+machinery rather than re-encoding it:
+
+* :mod:`repro.core.applicability` (§3.3) decides whether a physical
+  split transform may serve the analytic at all;
+* :mod:`repro.core.selection` (§5) supplies the degree bound K when
+  the caller does not pin one;
+* the ``Tigr-UDT`` engine restrictions (PR's push step and
+  level-synchronous BC cannot run on physically transformed graphs —
+  see :class:`repro.baselines.tigr.TigrUDTMethod`) bound what "udt"
+  requests are accepted.
+
+The planner also owns the *graceful degradation* rule: when the
+catalog is cold and the request's remaining deadline is smaller than
+the estimated transform build time, plan ``transform="none"`` and run
+on the raw CSR — a correct answer late beats a fast answer never.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import applicability, selection
+from repro.core.weights import DumbWeight
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.service.query import QueryRequest
+
+#: analytics the physical (UDT) path can execute on the push engine.
+UDT_EXECUTABLE = ("bfs", "sssp", "sswp", "cc")
+
+#: rough per-element transform construction costs (seconds), used only
+#: to decide degradation under tight deadlines.  Calibrated from the
+#: Table 7 regeneration on this simulator: UDT walks every high-degree
+#: edge list in Python (~1 us/edge); the virtual overlay is a
+#: vectorised O(|V|) pass (~50 ns/node + ~2 ns/edge).
+UDT_SECONDS_PER_EDGE = 1e-6
+VIRTUAL_SECONDS_PER_NODE = 5e-8
+VIRTUAL_SECONDS_PER_EDGE = 2e-9
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A fully resolved execution recipe for one request."""
+
+    algorithm: str
+    #: "none" | "udt" | "virtual" | "virtual+"
+    transform: str
+    degree_bound: int
+    dumb_weight: DumbWeight
+    #: engine direction; the serving layer runs the push engine, which
+    #: is the direction every analytic here supports on every target.
+    direction: str = "push"
+    #: why this plan (surfaced in results and logs).
+    reason: str = ""
+    #: True when a tighter plan was abandoned for deadline reasons.
+    degraded: bool = False
+
+    @property
+    def caches(self) -> bool:
+        """Whether this plan produces a cacheable transform artifact."""
+        return self.transform != "none"
+
+
+def plan_query(request: QueryRequest, graph: CSRGraph) -> QueryPlan:
+    """Resolve a request into a plan (no deadline pressure applied)."""
+    algorithm = request.algorithm
+    transform = request.transform
+    if transform == "auto":
+        # The paper's default method: virtual with coalesced layout
+        # (Tigr-V+) supports all six analytics and transforms in O(|V|).
+        return QueryPlan(
+            algorithm=algorithm,
+            transform="virtual+",
+            degree_bound=request.degree_bound or selection.choose_virtual_k(graph),
+            dumb_weight=DumbWeight.NONE,
+            reason="auto: Tigr-V+ supports every analytic at O(|V|) transform cost",
+        )
+    if transform == "none":
+        return QueryPlan(
+            algorithm=algorithm,
+            transform="none",
+            degree_bound=0,
+            dumb_weight=DumbWeight.NONE,
+            reason="explicit untransformed run",
+        )
+    if transform == "udt":
+        if not applicability.is_split_safe(algorithm):
+            raise ServiceError(
+                f"udt cannot serve {algorithm}: "
+                + applicability.REQUIREMENTS[algorithm].justification
+            )
+        if algorithm not in UDT_EXECUTABLE:
+            raise ServiceError(
+                f"udt cannot serve {algorithm}: the push engine does not "
+                f"execute it on physically transformed graphs "
+                f"(supported: {', '.join(UDT_EXECUTABLE)})"
+            )
+        return QueryPlan(
+            algorithm=algorithm,
+            transform="udt",
+            degree_bound=request.degree_bound or selection.choose_physical_k(graph),
+            dumb_weight=DumbWeight.for_algorithm(algorithm),
+            reason=applicability.REQUIREMENTS[algorithm].justification,
+        )
+    # virtual / virtual+
+    return QueryPlan(
+        algorithm=algorithm,
+        transform=transform,
+        degree_bound=request.degree_bound or selection.choose_virtual_k(graph),
+        dumb_weight=DumbWeight.NONE,
+        reason="explicit virtual overlay",
+    )
+
+
+def estimate_build_seconds(graph: CSRGraph, plan: QueryPlan) -> float:
+    """Predicted cold-cache transform construction time for ``plan``."""
+    if plan.transform == "none":
+        return 0.0
+    if plan.transform == "udt":
+        return graph.num_edges * UDT_SECONDS_PER_EDGE
+    return (
+        graph.num_nodes * VIRTUAL_SECONDS_PER_NODE
+        + graph.num_edges * VIRTUAL_SECONDS_PER_EDGE
+    )
+
+
+def degrade_for_deadline(
+    plan: QueryPlan,
+    graph: CSRGraph,
+    remaining_s: float,
+    *,
+    artifact_cached: bool,
+    safety_factor: float = 2.0,
+) -> QueryPlan:
+    """Fall back to the raw CSR when the deadline cannot fund a build.
+
+    Applies only when the artifact is *not* already cached: a warm
+    catalog makes the transform free, so the original plan stands.
+    ``safety_factor`` pads the estimate — degrading slightly too eagerly
+    is cheaper than missing a deadline by the whole build time.
+    """
+    if artifact_cached or not plan.caches:
+        return plan
+    estimated = estimate_build_seconds(graph, plan) * safety_factor
+    if estimated <= remaining_s:
+        return plan
+    return replace(
+        plan,
+        transform="none",
+        degree_bound=0,
+        dumb_weight=DumbWeight.NONE,
+        degraded=True,
+        reason=(
+            f"degraded: cold cache, ~{estimated:.3f}s transform estimate "
+            f"exceeds {remaining_s:.3f}s remaining deadline"
+        ),
+    )

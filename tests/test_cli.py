@@ -89,6 +89,92 @@ class TestBenchForwarding:
             main(["bench", "table99"])
 
 
+class TestInfoFingerprint:
+    def test_fingerprint_printed(self, capsys):
+        assert main(["info", "pokec", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+
+    def test_fingerprint_matches_library(self, tmp_path, capsys):
+        g = rmat(30, 100, seed=1)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert main(["info", str(path)]) == 0
+        assert g.fingerprint() in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_single_query(self, capsys):
+        assert main(["query", "sssp", "pokec", "--scale", "0.1",
+                     "--source", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit:    False" in out
+        assert "values[source 0]" in out
+
+    def test_repeat_hits_cache(self, capsys):
+        assert main(["query", "sssp", "pokec", "--scale", "0.1",
+                     "--source", "0", "--repeat", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out and "round 2" in out
+        assert "cache hit:    True" in out  # round 2 is warm
+        assert "cache_hit_rate" in out
+
+    def test_multi_source_batch(self, capsys):
+        assert main(["query", "bfs", "pokec", "--scale", "0.1",
+                     "--sources", "0,3,3"]) == 0
+        out = capsys.readouterr().out
+        assert "batched with: 2 other request(s)" in out
+
+    def test_default_source_is_hub(self, capsys):
+        assert main(["query", "bfs", "pokec", "--scale", "0.1"]) == 0
+        assert "max-outdegree source" in capsys.readouterr().out
+
+    def test_sourceless_analytic(self, capsys):
+        assert main(["query", "pr", "pokec", "--scale", "0.1"]) == 0
+        assert "values[all nodes]" in capsys.readouterr().out
+
+    def test_transform_override(self, capsys):
+        assert main(["query", "sssp", "pokec", "--scale", "0.1",
+                     "--source", "0", "--transform", "udt", "--k", "4"]) == 0
+        assert "transform=udt, K=4" in capsys.readouterr().out
+
+    def test_invalid_transform_for_algorithm(self, capsys):
+        # UDT cannot serve PR (Corollary 4) -> clean error, exit 2
+        assert main(["query", "pr", "pokec", "--scale", "0.1",
+                     "--transform", "udt"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_non_numeric_sources_rejected(self, capsys):
+        assert main(["query", "sssp", "pokec", "--scale", "0.1",
+                     "--sources", "a,b"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_out_of_range_source_rejected(self, capsys):
+        assert main(["query", "sssp", "pokec", "--scale", "0.1",
+                     "--source", "999999"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_spill_dir_populated_on_eviction(self, tmp_path, capsys):
+        assert main(["query", "sssp", "pokec", "--scale", "0.1",
+                     "--source", "0",
+                     "--spill-dir", str(tmp_path)]) == 0
+
+
+class TestServe:
+    def test_synthetic_workload(self, capsys):
+        assert main(["serve", "pokec", "--scale", "0.1",
+                     "--requests", "12", "--workers", "2",
+                     "--algorithms", "bfs,pr", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "served 12/12 queries" in out
+        assert "cache_hit_rate" in out and "max_queue_depth" in out
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        assert main(["serve", "pokec", "--scale", "0.1",
+                     "--algorithms", "bfs,coloring"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
 class TestCLIGaps:
     def test_unsupported_method_algorithm_pair(self, capsys):
         # tigr-udt ships no PR (Corollary 4 needs pull) -> clean error

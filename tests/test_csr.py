@@ -190,3 +190,49 @@ class TestValueSemantics:
         assert g.nbytes() == g.offsets.nbytes + g.targets.nbytes
         gw = g.with_weights([1.0, 1.0, 1.0])
         assert gw.nbytes() == g.nbytes() + gw.weights.nbytes
+
+
+class TestFingerprint:
+    """Content-based identity for the serving layer's artifact cache."""
+
+    def test_deterministic_across_objects(self):
+        a = from_edge_list([(0, 1), (1, 2), (2, 0)])
+        b = from_edge_list([(0, 1), (1, 2), (2, 0)])
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_cached_on_instance(self):
+        g = make_small()
+        assert g.fingerprint() is g.fingerprint()
+
+    def test_is_hex_sha256(self):
+        fp = make_small().fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+    def test_structure_changes_fingerprint(self):
+        g1 = from_edge_list([(0, 1)])
+        g2 = from_edge_list([(1, 0)])
+        assert g1.fingerprint() != g2.fingerprint()
+
+    def test_weights_change_fingerprint(self):
+        g = make_small()
+        assert g.fingerprint() != g.with_weights([1.0, 1.0, 1.0]).fingerprint()
+        assert (
+            g.with_weights([1.0, 1.0, 1.0]).fingerprint()
+            != g.with_weights([2.0, 1.0, 1.0]).fingerprint()
+        )
+
+    def test_stable_across_sessions(self):
+        # pinned digest: a change here invalidates every spilled artifact,
+        # which must be a deliberate (versioned) decision.
+        g = CSRGraph(np.array([0, 1]), np.array([0]))
+        assert g.fingerprint() == (
+            "620de7d3631d056c36bccaa63d7f736c"
+            "a3b8b8f92a27b1542758189520a4e3d4"
+        )
+
+    def test_empty_vs_single_node(self):
+        empty = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+        single = CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+        assert empty.fingerprint() != single.fingerprint()

@@ -1,0 +1,226 @@
+"""Batching: grouping rules, source dedup, result equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, pagerank, sssp, sswp
+from repro.core.virtual import virtual_transform
+from repro.engine.push import EngineOptions
+from repro.graph.generators import rmat
+from repro.service import (
+    AnalyticsService,
+    GraphCatalog,
+    QueryRequest,
+    group_requests,
+)
+from repro.service.batching import run_batch_on_target
+
+
+@pytest.fixture
+def graph():
+    return rmat(140, 1000, seed=11, weight_range=(1, 9))
+
+
+def resolve_with(graph):
+    def resolver(request):
+        assert isinstance(request.graph, str)
+        return graph
+
+    return resolver
+
+
+class TestGrouping:
+    def test_same_plan_coalesces(self, graph):
+        requests = [QueryRequest.single("sssp", "g", s) for s in (0, 1, 2)]
+        batches = group_requests(requests, resolve_with(graph))
+        assert len(batches) == 1
+        assert batches[0].sources == (0, 1, 2)
+
+    def test_different_algorithms_split(self, graph):
+        requests = [
+            QueryRequest.single("sssp", "g", 0),
+            QueryRequest.single("bfs", "g", 0),
+        ]
+        assert len(group_requests(requests, resolve_with(graph))) == 2
+
+    def test_different_transform_or_k_split(self, graph):
+        requests = [
+            QueryRequest.single("sssp", "g", 0, transform="virtual+"),
+            QueryRequest.single("sssp", "g", 0, transform="none"),
+            QueryRequest.single("sssp", "g", 0, transform="virtual+", degree_bound=4),
+        ]
+        assert len(group_requests(requests, resolve_with(graph))) == 3
+
+    def test_different_options_split(self, graph):
+        requests = [
+            QueryRequest.single("sssp", "g", 0),
+            QueryRequest.single(
+                "sssp", "g", 0, options=EngineOptions(worklist=False)
+            ),
+        ]
+        assert len(group_requests(requests, resolve_with(graph))) == 2
+
+    def test_content_twins_coalesce_across_names(self, graph):
+        twin = rmat(140, 1000, seed=11, weight_range=(1, 9))
+        graphs = {"a": graph, "b": twin}
+        requests = [
+            QueryRequest.single("sssp", "a", 0),
+            QueryRequest.single("sssp", "b", 1),
+        ]
+        batches = group_requests(requests, lambda r: graphs[r.graph])
+        assert len(batches) == 1
+
+    def test_source_dedup_counted(self, graph):
+        requests = [
+            QueryRequest("sssp", "g", sources=(0, 1)),
+            QueryRequest("sssp", "g", sources=(1, 2)),
+            QueryRequest.single("sssp", "g", 2),
+        ]
+        (batch,) = group_requests(requests, resolve_with(graph))
+        assert batch.sources == (0, 1, 2)
+        assert batch.sources_deduped == 2
+
+    def test_tightest_timeout(self, graph):
+        requests = [
+            QueryRequest.single("sssp", "g", 0, timeout_s=5.0),
+            QueryRequest.single("sssp", "g", 1, timeout_s=1.0),
+            QueryRequest.single("sssp", "g", 2),
+        ]
+        (batch,) = group_requests(requests, resolve_with(graph))
+        assert batch.tightest_timeout_s == 1.0
+
+    def test_out_of_range_source_rejected_at_submit(self, graph):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="out of range"):
+            group_requests(
+                [QueryRequest.single("sssp", "g", graph.num_nodes)],
+                resolve_with(graph),
+            )
+
+    def test_no_timeouts_is_inf(self, graph):
+        (batch,) = group_requests(
+            [QueryRequest.single("sssp", "g", 0)], resolve_with(graph)
+        )
+        assert batch.tightest_timeout_s == float("inf")
+
+
+class TestFanOutEquivalence:
+    """Batched execution must be bit-identical to per-source runs."""
+
+    def test_sssp_batch_matches_per_source(self, graph):
+        target = virtual_transform(graph, 10, coalesced=True)
+        requests = [QueryRequest.single("sssp", "g", s) for s in (3, 7, 3, 12)]
+        (batch,) = group_requests(requests, resolve_with(graph))
+        out = run_batch_on_target(batch, target)
+        for request in requests:
+            (source,) = request.sources
+            expected = sssp(target, source).values
+            np.testing.assert_array_equal(
+                out[request.request_id][source], expected
+            )
+
+    def test_bfs_batch_matches_per_source(self, graph):
+        unweighted = graph.without_weights()
+        target = virtual_transform(unweighted, 10, coalesced=True)
+        requests = [QueryRequest.single("bfs", "g", s) for s in (0, 5, 9)]
+        (batch,) = group_requests(requests, resolve_with(unweighted))
+        out = run_batch_on_target(batch, target)
+        for request in requests:
+            (source,) = request.sources
+            np.testing.assert_array_equal(
+                out[request.request_id][source], bfs(target, source).values
+            )
+
+    def test_sswp_per_source_path(self, graph):
+        target = virtual_transform(graph, 10, coalesced=True)
+        requests = [QueryRequest.single("sswp", "g", s) for s in (1, 4)]
+        (batch,) = group_requests(requests, resolve_with(graph))
+        out = run_batch_on_target(batch, target)
+        for request in requests:
+            (source,) = request.sources
+            np.testing.assert_array_equal(
+                out[request.request_id][source], sswp(target, source).values
+            )
+
+    def test_sourceless_shared_run(self, graph):
+        unweighted = graph.without_weights()
+        target = virtual_transform(unweighted, 10, coalesced=True)
+        requests = [QueryRequest("pr", "g"), QueryRequest("pr", "g")]
+        (batch,) = group_requests(requests, resolve_with(unweighted))
+        out = run_batch_on_target(batch, target)
+        expected = pagerank(target).values
+        first, second = (out[r.request_id][-1] for r in requests)
+        np.testing.assert_allclose(first, expected)
+        assert first is second  # one run, shared by both members
+
+    def test_duplicate_sources_share_one_row(self, graph):
+        target = virtual_transform(graph, 10, coalesced=True)
+        requests = [QueryRequest.single("sssp", "g", 6) for _ in range(3)]
+        (batch,) = group_requests(requests, resolve_with(graph))
+        assert batch.sources == (6,)
+        out = run_batch_on_target(batch, target)
+        rows = [out[r.request_id][6] for r in requests]
+        assert rows[0] is rows[1] is rows[2]
+
+
+class TestEndToEndBatchedService:
+    def test_batched_results_match_individual_runs(self, graph):
+        """The ISSUE's satellite: batched == per-source, exactly."""
+        sources = (2, 9, 2, 17, 33)
+        requests = [QueryRequest.single("sssp", "g", s) for s in sources]
+        with AnalyticsService(GraphCatalog(), workers=2) as service:
+            service.register("g", graph)
+            batched = [t.result(60) for t in service.submit_batch(requests)]
+        individual = {}
+        for source in set(sources):
+            with AnalyticsService(GraphCatalog(), workers=1) as service:
+                service.register("g", graph)
+                individual[source] = service.run(
+                    QueryRequest.single("sssp", "g", source)
+                )
+        for source, result in zip(sources, batched):
+            assert result.ok
+            assert result.batched_with == len(sources) - 1
+            np.testing.assert_array_equal(
+                result.value(source), individual[source].value(source)
+            )
+
+    def test_batch_metrics_attribution(self, graph):
+        requests = [
+            QueryRequest("sssp", "g", sources=(0, 1)),
+            QueryRequest("sssp", "g", sources=(1, 2)),
+        ]
+        with AnalyticsService(GraphCatalog(), workers=1) as service:
+            service.register("g", graph)
+            results = [t.result(60) for t in service.submit_batch(requests)]
+            assert all(r.ok for r in results)
+            # batch-level quantities counted once, not per member
+            assert service.metrics.batches_merged == 1
+            assert service.metrics.sources_deduped == 1
+
+    def test_mixed_algorithms_in_one_submit(self, graph):
+        requests = [
+            QueryRequest.single("sssp", "g", 0),
+            QueryRequest.single("bfs", "g", 0),
+            QueryRequest("pr", "g"),
+        ]
+        with AnalyticsService(GraphCatalog(), workers=2) as service:
+            service.register("g", graph)
+            results = [t.result(60) for t in service.submit_batch(requests)]
+        assert [r.algorithm for r in results] == ["sssp", "bfs", "pr"]
+        assert all(r.ok for r in results)
+
+    def test_multi_source_request_values_keyed_by_source(self, graph):
+        request = QueryRequest("sssp", "g", sources=(4, 8))
+        with AnalyticsService(GraphCatalog(), workers=1) as service:
+            service.register("g", graph)
+            result = service.run(request)
+        assert set(result.values) == {4, 8}
+        direct_target = virtual_transform(graph, 10, coalesced=True)
+        np.testing.assert_array_equal(
+            result.value(4), sssp(direct_target, 4).values
+        )
+        np.testing.assert_array_equal(
+            result.value(8), sssp(direct_target, 8).values
+        )

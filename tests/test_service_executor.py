@@ -1,0 +1,360 @@
+"""AnalyticsService: concurrency, timeouts, cancellation, degradation."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, connected_components, pagerank, sssp
+from repro.core.udt import udt_transform
+from repro.core.virtual import virtual_transform
+from repro.core.weights import DumbWeight
+from repro.engine.push import EngineOptions
+from repro.errors import ServiceError
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import rmat
+from repro.service import (
+    AnalyticsService,
+    GraphCatalog,
+    QueryRequest,
+    TransformArtifact,
+)
+from repro.service.planner import degrade_for_deadline, plan_query
+
+
+@pytest.fixture
+def graph():
+    return rmat(150, 1100, seed=9, weight_range=(1, 8))
+
+
+@pytest.fixture
+def service(graph):
+    with AnalyticsService(workers=2, queue_size=32) as svc:
+        svc.register("g", graph)
+        yield svc
+
+
+class TestRequestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ServiceError):
+            QueryRequest("dijkstra", "g", sources=(0,))
+
+    def test_source_required(self):
+        with pytest.raises(ServiceError):
+            QueryRequest("sssp", "g")
+
+    def test_sourceless_rejects_sources(self):
+        with pytest.raises(ServiceError):
+            QueryRequest("pr", "g", sources=(0,))
+
+    def test_unknown_transform(self):
+        with pytest.raises(ServiceError):
+            QueryRequest("sssp", "g", sources=(0,), transform="cliq")
+
+    def test_bad_timeout(self):
+        with pytest.raises(ServiceError):
+            QueryRequest("sssp", "g", sources=(0,), timeout_s=0.0)
+
+    def test_unknown_registered_graph(self, service):
+        with pytest.raises(ServiceError, match="unknown graph"):
+            service.run(QueryRequest.single("sssp", "nope", 0))
+
+
+class TestResultsMatchDirectCalls:
+    """The serving layer must be a pure optimisation, never a semantic."""
+
+    def test_warm_query_zero_transform_work_on_standin(self):
+        # Acceptance criterion: warm-cache query on a Table 3 stand-in
+        # does zero transform work and matches repro.algorithms exactly.
+        graph = load_dataset("pokec", scale=0.2)
+        catalog = GraphCatalog()
+        with AnalyticsService(catalog, workers=2) as service:
+            service.register("pokec", graph)
+            cold = service.run(QueryRequest.single("sssp", "pokec", 3))
+            builds_after_cold = catalog.stats.builds
+            warm = service.run(QueryRequest.single("sssp", "pokec", 7))
+            assert not cold.cache_hit and warm.cache_hit
+            # zero transform work on the warm path, per cache counters
+            assert catalog.stats.builds == builds_after_cold == 1
+            assert catalog.stats.hits >= 1
+            direct = sssp(virtual_transform(graph, 10, coalesced=True), 7)
+            assert np.array_equal(warm.value(7), direct.values)
+
+    def test_auto_plan_matches_tigr_vplus(self, service, graph):
+        result = service.run(QueryRequest.single("bfs", "g", 0))
+        direct = bfs(
+            virtual_transform(graph.without_weights(), 10, coalesced=True), 0
+        )
+        assert result.transform == "virtual+"
+        assert np.array_equal(result.value(0), direct.values)
+
+    def test_udt_plan_projects_back(self, service, graph):
+        result = service.run(
+            QueryRequest.single("sssp", "g", 2, transform="udt", degree_bound=6)
+        )
+        transformed = udt_transform(graph, 6, dumb_weight=DumbWeight.ZERO)
+        direct = sssp(transformed.graph, 2)
+        assert np.array_equal(
+            result.value(2), transformed.read_values(direct.values)
+        )
+        assert len(result.value(2)) == graph.num_nodes
+
+    def test_none_plan_runs_raw_csr(self, service, graph):
+        result = service.run(QueryRequest.single("sssp", "g", 0, transform="none"))
+        assert result.transform == "none"
+        assert np.array_equal(result.value(0), sssp(graph, 0).values)
+
+    def test_cc_symmetrized(self, service, graph):
+        result = service.run(QueryRequest("cc", "g", transform="none"))
+        from repro.graph.builder import to_undirected
+
+        direct = connected_components(to_undirected(graph.without_weights()))
+        assert np.array_equal(result.value(), direct.values)
+
+    def test_pr_on_virtual(self, service, graph):
+        result = service.run(QueryRequest("pr", "g"))
+        direct = pagerank(
+            virtual_transform(graph.without_weights(), 10, coalesced=True)
+        )
+        assert np.allclose(result.value(), direct.values)
+
+    def test_inline_graph_without_registration(self, graph):
+        with AnalyticsService(workers=1) as service:
+            result = service.run(QueryRequest.single("bfs", graph, 0))
+            assert result.ok
+
+    def test_udt_rejected_for_pr(self, service):
+        result = service.run(QueryRequest("pr", "g", transform="udt"))
+        assert not result.ok and "udt cannot serve pr" in result.error
+
+
+class TestConcurrency:
+    def test_contended_submissions_all_complete(self, graph):
+        catalog = GraphCatalog()
+        with AnalyticsService(catalog, workers=4, queue_size=128) as service:
+            service.register("g", graph)
+            tickets = [
+                service.submit(QueryRequest.single("sssp", "g", s % graph.num_nodes))
+                for s in range(40)
+            ]
+            results = [t.result(60) for t in tickets]
+            assert all(r.ok for r in results)
+            # single-flight: 40 cold-ish queries still build exactly once
+            assert catalog.stats.builds == 1
+            reference = sssp(virtual_transform(graph, 10, coalesced=True), 5)
+            assert np.array_equal(results[5].value(5), reference.values)
+
+    def test_concurrent_submitters(self, graph):
+        with AnalyticsService(workers=4, queue_size=256) as service:
+            service.register("g", graph)
+            results = []
+            lock = threading.Lock()
+
+            def client(base):
+                mine = [
+                    service.run(QueryRequest.single("bfs", "g", (base + i) % 50))
+                    for i in range(5)
+                ]
+                with lock:
+                    results.extend(mine)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 30 and all(r.ok for r in results)
+
+    def test_backpressure_nonblocking_submit(self, graph):
+        # one worker stuck on a slow item + queue of 1 -> third submit fails
+        with AnalyticsService(workers=1, queue_size=1) as service:
+            service.register("g", graph)
+            blocker = threading.Event()
+            original = service._prepare
+
+            def slow_prepare(g, algorithm):
+                blocker.wait(5)
+                return original(g, algorithm)
+
+            service._prepare = slow_prepare
+            first = service.submit(QueryRequest.single("bfs", "g", 0))
+            time.sleep(0.05)  # let the worker claim it and block
+            second = service.submit(
+                QueryRequest.single("bfs", "g", 1), block=False
+            )
+            with pytest.raises(ServiceError, match="queue full"):
+                service.submit(QueryRequest.single("bfs", "g", 2), block=False)
+            blocker.set()
+            assert first.result(10).ok and second.result(10).ok
+
+    def test_queue_depth_tracked(self, service):
+        service.run(QueryRequest.single("bfs", "g", 0))
+        assert service.metrics.max_queue_depth >= 1
+        assert service.metrics.queue_depth == 0
+
+    def test_submit_after_close_rejected(self, graph):
+        service = AnalyticsService(workers=1)
+        service.register("g", graph)
+        service.close()
+        with pytest.raises(ServiceError, match="stopped"):
+            service.submit(QueryRequest.single("bfs", "g", 0))
+
+    def test_close_drains_queued_work(self, graph):
+        service = AnalyticsService(workers=1, queue_size=64)
+        service.register("g", graph)
+        tickets = [
+            service.submit(QueryRequest.single("bfs", "g", s)) for s in range(8)
+        ]
+        service.close(wait=True)
+        assert all(t.result(0.1).ok for t in tickets)
+
+
+class TestTimeoutsAndDegradation:
+    def test_expired_in_queue_fails_fast(self, graph):
+        with AnalyticsService(workers=1, queue_size=16) as service:
+            service.register("g", graph)
+            blocker = threading.Event()
+            original = service._prepare
+
+            def slow_prepare(g, algorithm):
+                blocker.wait(5)
+                return original(g, algorithm)
+
+            service._prepare = slow_prepare
+            service.submit(QueryRequest.single("bfs", "g", 0))
+            time.sleep(0.05)
+            doomed = service.submit(
+                QueryRequest.single("bfs", "g", 1, timeout_s=0.01)
+            )
+            time.sleep(0.1)  # deadline passes while queued
+            blocker.set()
+            result = doomed.result(10)
+            assert not result.ok and "timed out" in result.error
+            assert service.metrics.queries_timed_out >= 1
+
+    def test_tight_deadline_cold_cache_degrades(self, graph):
+        # estimated UDT build >> remaining deadline -> raw-CSR fallback
+        plan = plan_query(
+            QueryRequest.single("sssp", "g", 0, transform="udt"), graph
+        )
+        degraded = degrade_for_deadline(
+            plan, graph, remaining_s=0.0, artifact_cached=False
+        )
+        assert degraded.transform == "none" and degraded.degraded
+
+    def test_warm_cache_never_degrades(self, graph):
+        plan = plan_query(
+            QueryRequest.single("sssp", "g", 0, transform="udt"), graph
+        )
+        kept = degrade_for_deadline(
+            plan, graph, remaining_s=0.0, artifact_cached=True
+        )
+        assert kept is plan
+
+    def test_degraded_result_still_correct(self, graph):
+        big = rmat(4000, 60000, seed=2, weight_range=(1, 5))
+        with AnalyticsService(workers=1) as service:
+            service.register("big", big)
+            result = service.run(
+                QueryRequest.single(
+                    "sssp", "big", 0, transform="udt", timeout_s=1e-4
+                )
+            )
+            if result.ok:  # may also time out in queue on a loaded box
+                assert result.degraded and result.transform == "none"
+                assert np.array_equal(result.value(0), sssp(big, 0).values)
+                assert service.metrics.queries_degraded == 1
+
+    def test_default_timeout_applied(self, graph):
+        with AnalyticsService(workers=1, default_timeout_s=30.0) as service:
+            service.register("g", graph)
+            ticket = service.submit(QueryRequest.single("bfs", "g", 0))
+            assert ticket.request.timeout_s == 30.0
+            assert ticket.result(10).ok
+
+
+class TestCancellation:
+    def test_cancel_while_queued(self, graph):
+        with AnalyticsService(workers=1, queue_size=16) as service:
+            service.register("g", graph)
+            blocker = threading.Event()
+            original = service._prepare
+
+            def slow_prepare(g, algorithm):
+                blocker.wait(5)
+                return original(g, algorithm)
+
+            service._prepare = slow_prepare
+            service.submit(QueryRequest.single("bfs", "g", 0))
+            time.sleep(0.05)
+            victim = service.submit(QueryRequest.single("bfs", "g", 1))
+            assert victim.cancel() is True
+            blocker.set()
+            result = victim.result(10)
+            assert not result.ok and result.error == "cancelled"
+        # the cancelled claim is recorded when the worker drains the
+        # item; close() above joined the workers, so it has happened.
+        assert service.metrics.queries_cancelled == 1
+
+    def test_cancel_after_completion_refused(self, service):
+        ticket = service.submit(QueryRequest.single("bfs", "g", 0))
+        ticket.result(30)
+        assert ticket.cancel() is False
+
+    def test_result_wait_timeout(self, graph):
+        with AnalyticsService(workers=1) as service:
+            service.register("g", graph)
+            blocker = threading.Event()
+            original = service._prepare
+
+            def slow_prepare(g, algorithm):
+                blocker.wait(5)
+                return original(g, algorithm)
+
+            service._prepare = slow_prepare
+            ticket = service.submit(QueryRequest.single("bfs", "g", 0))
+            with pytest.raises(ServiceError, match="not finished"):
+                ticket.result(0.05)
+            blocker.set()
+            assert ticket.result(10).ok
+
+
+class TestErrorsAndMetrics:
+    def test_weighted_algorithm_on_unweighted_graph(self, graph):
+        with AnalyticsService(workers=1) as service:
+            service.register("uw", graph.without_weights())
+            result = service.run(QueryRequest.single("sssp", "uw", 0))
+            assert not result.ok and "requires a weighted graph" in result.error
+            assert service.metrics.queries_failed == 1
+
+    def test_metrics_summary_shape(self, service):
+        service.run(QueryRequest.single("sssp", "g", 0))
+        service.run(QueryRequest.single("sssp", "g", 1))
+        summary = service.metrics.summary()
+        assert summary["queries_total"] == 2
+        assert summary["cache_hit_rate"] == 0.5
+        assert summary["catalog_builds"] == 1
+        for stage in ("queue", "plan", "transform", "execute", "total"):
+            assert f"{stage}_p50_ms" in summary
+            assert f"{stage}_p95_ms" in summary
+
+    def test_stage_timings_populated(self, service):
+        result = service.run(QueryRequest.single("sssp", "g", 0))
+        timings = result.timings.as_dict()
+        assert timings["total_s"] > 0
+        assert timings["execute_s"] > 0
+        assert result.timings.total_s == pytest.approx(
+            timings["queue_s"] + timings["plan_s"]
+            + timings["transform_s"] + timings["execute_s"]
+        )
+
+    def test_custom_engine_options_respected(self, service, graph):
+        options = EngineOptions(worklist=False)
+        result = service.run(
+            QueryRequest.single("sssp", "g", 0, options=options)
+        )
+        direct = sssp(
+            virtual_transform(graph, 10, coalesced=True), 0, options=options
+        )
+        assert np.array_equal(result.value(0), direct.values)
