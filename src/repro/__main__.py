@@ -8,6 +8,8 @@ Subcommands::
     python -m repro compare <algorithm> <dataset>  # all Table 2 methods
     python -m repro query <algorithm> <dataset>  # one query via the
                                                  # serving layer
+    python -m repro analyze [paths...]           # static split-safety
+                                                 # + concurrency lint
     python -m repro serve <dataset> [...]        # drive a synthetic
                                                  # workload through the
                                                  # concurrent service
@@ -222,6 +224,12 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.analyze.runner import run as analyze_run
+
+    return analyze_run(args)
+
+
 def cmd_serve(args) -> int:
     import random
 
@@ -351,6 +359,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static split-safety verifier + concurrency/scatter lint",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to scan (default: the repro package)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on any error-severity finding")
+    p.add_argument("--rule", action="append", default=None, metavar="ID",
+                   help="only report the given rule id (repeatable)")
+    p.add_argument("--no-suppress", action="store_true",
+                   help="report findings even on '# analyze: ignore' lines")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bench", help="regenerate the paper's experiments")
     p.add_argument("experiments", nargs="*", default=None)

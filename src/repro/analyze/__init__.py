@@ -1,0 +1,34 @@
+"""Static analysis over the repo's own sources (``repro analyze``).
+
+Three checker families, each enforcing an invariant the paper states
+in prose and the code previously only promised in docstrings:
+
+* :mod:`repro.analyze.programs` — every vertex program's (relax,
+  reduce) pair is verified against Theorem 1 (dumb weights per
+  path-metric class) and Theorem 3 (associative+commutative
+  reduction), and diffed against the §3.3 applicability table in
+  :mod:`repro.core.applicability`;
+* :mod:`repro.analyze.locks` — attributes mutated under a class's
+  ``threading`` lock must be locked everywhere (the serving layer's
+  concurrency contract);
+* :mod:`repro.analyze.scatter` — buffered numpy writes through
+  possibly-repeating index arrays (the lost-fold race ``ufunc.at``
+  exists to avoid) are rejected outside the sanctioned
+  :meth:`~repro.engine.program.ReduceOp.scatter` path.
+
+See ``docs/static-analysis.md`` for the rule catalog and the per-line
+suppression syntax.
+"""
+
+from repro.analyze.report import RULES, Finding, Report, Rule
+from repro.analyze.runner import analyze_paths, default_root, main
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Report",
+    "Rule",
+    "analyze_paths",
+    "default_root",
+    "main",
+]

@@ -1,0 +1,309 @@
+"""Shared AST machinery for the static checkers.
+
+Everything here is plain :mod:`ast` — no imports of the analyzed code,
+so the checkers can run over fixture files with seeded violations (or
+over a broken working tree) without executing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: directories never worth scanning.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> Optional["SourceFile"]:
+        """Parse ``path``; returns ``None`` for unreadable/unparsable files."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            tree = ast.parse(text, filename=path)
+        except (OSError, SyntaxError, ValueError):
+            return None
+        return cls(path=path, text=text, tree=tree, lines=text.splitlines())
+
+
+def iter_python_files(root: str) -> Iterator[str]:
+    """Yield ``.py`` paths under ``root`` (or ``root`` itself if a file)."""
+    if os.path.isfile(root):
+        if root.endswith(".py"):
+            yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in sorted(dirnames)
+            if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def load_sources(paths: Sequence[str]) -> List[SourceFile]:
+    """Load every parsable Python file under the given roots, deduplicated."""
+    seen = set()
+    sources: List[SourceFile] = []
+    for root in paths:
+        for path in iter_python_files(root):
+            real = os.path.realpath(path)
+            if real in seen:
+                continue
+            seen.add(real)
+            source = SourceFile.load(path)
+            if source is not None:
+                sources.append(source)
+    return sources
+
+
+# ----------------------------------------------------------------------
+# Attribute helpers
+# ----------------------------------------------------------------------
+def self_attribute_name(node: ast.AST) -> Optional[str]:
+    """The ``X`` in a ``self.X``-rooted expression, else ``None``.
+
+    Peels subscripts and nested attributes: ``self.stats.hits`` and
+    ``self._entries[key]`` both report the first-level attribute
+    (``stats`` / ``_entries``), which is the unit the lock checker
+    reasons about.
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target (``np.minimum``, ``int``, ``x.copy``)."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        parts.append(dotted_name(node.func) + "()")
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+#: method names that mutate their receiver in place.
+MUTATING_METHODS = {
+    "append", "appendleft", "extend", "insert", "remove", "pop",
+    "popleft", "popitem", "clear", "update", "setdefault", "add",
+    "discard", "move_to_end", "sort", "reverse",
+}
+
+
+def iter_class_functions(
+    cls: ast.ClassDef,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """The class's directly defined (sync) methods."""
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+def class_constant(cls: ast.ClassDef, name: str) -> Optional[ast.AST]:
+    """The value expression of a class-level ``name = ...`` assignment."""
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == name
+                and node.value is not None
+            ):
+                return node.value
+    return None
+
+
+def base_names(cls: ast.ClassDef) -> List[str]:
+    """Base-class names, with module qualifiers stripped."""
+    names = []
+    for base in cls.bases:
+        name = dotted_name(base)
+        names.append(name.rsplit(".", 1)[-1])
+    return names
+
+
+# ----------------------------------------------------------------------
+# Scalar / array classification (light local dataflow)
+# ----------------------------------------------------------------------
+#: numpy constructors/ops that produce arrays.
+_ARRAY_PRODUCERS = {
+    "array", "asarray", "ascontiguousarray", "arange", "linspace",
+    "zeros", "zeros_like", "ones", "ones_like", "full", "full_like",
+    "empty", "empty_like", "where", "nonzero", "flatnonzero", "unique",
+    "concatenate", "hstack", "vstack", "stack", "repeat", "tile",
+    "argsort", "searchsorted", "cumsum", "bincount", "minimum",
+    "maximum", "add", "fmin", "fmax", "sort", "argwhere", "indices",
+    "copy", "astype", "ravel", "flatten", "take", "compress",
+}
+#: calls that produce scalars.
+_SCALAR_PRODUCERS = {"int", "len", "float", "round", "abs", "min", "max", "sum"}
+
+#: attribute names conventionally holding per-edge / per-node arrays in
+#: this codebase (CSR fields and friends).
+_ARRAY_ATTRS = {"targets", "offsets", "weights", "sources", "src", "dst"}
+
+SCALAR, ARRAY, MASK, UNKNOWN = "scalar", "array", "mask", "unknown"
+
+
+class _BindingCollector(ast.NodeVisitor):
+    """Record, per local name, the kinds of values bound to it."""
+
+    def __init__(self) -> None:
+        self.bindings: Dict[str, set] = {}
+
+    def _bind(self, target: ast.AST, kind: str) -> None:
+        if isinstance(target, ast.Name):
+            self.bindings.setdefault(target.id, set()).add(kind)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                # Tuple unpacking of an array yields its elements;
+                # conservatively mark them unknown.
+                self._bind(element, UNKNOWN if kind == ARRAY else kind)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        kind = classify_expr(node.value, self.bindings)
+        for target in node.targets:
+            self._bind(target, kind)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, classify_expr(node.value, self.bindings))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        # Iterating yields one element per step: scalars for the 1-D
+        # arrays this codebase loops over.  (2-D row iteration is the
+        # rare exception; treating it as scalar under-reports, which
+        # is the conservative direction for a linter.)
+        self._bind(node.target, SCALAR)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._bind(node.target, SCALAR)
+        self.generic_visit(node)
+
+
+def local_bindings(func: ast.AST) -> Dict[str, set]:
+    """Name -> kinds bound in ``func`` (module- or function-level)."""
+    collector = _BindingCollector()
+    collector.visit(func)
+    return collector.bindings
+
+
+def classify_expr(node: ast.AST, bindings: Dict[str, set]) -> str:
+    """Classify an expression as SCALAR / ARRAY / MASK / UNKNOWN.
+
+    Used to decide whether a subscript index can contain repeated
+    entries: only integer *arrays* can; scalars, slices, and boolean
+    masks cannot.
+    """
+    if isinstance(node, ast.Constant):
+        return SCALAR
+    if isinstance(node, ast.UnaryOp):
+        return classify_expr(node.operand, bindings)
+    if isinstance(node, (ast.Compare, ast.BoolOp)):
+        # Elementwise comparisons build boolean masks; mask indexing
+        # selects each position at most once.
+        return MASK
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _SCALAR_PRODUCERS and "." not in name:
+            return SCALAR
+        if name.startswith(("np.", "numpy.")) and tail in _ARRAY_PRODUCERS:
+            return ARRAY
+        if tail in ("copy", "astype", "ravel", "flatten") and isinstance(
+            node.func, ast.Attribute
+        ):
+            return classify_expr(node.func.value, bindings)
+        return UNKNOWN
+    if isinstance(node, ast.Name):
+        kinds = bindings.get(node.id)
+        if not kinds:
+            return UNKNOWN
+        if ARRAY in kinds:
+            return ARRAY
+        if kinds == {SCALAR}:
+            return SCALAR
+        if kinds == {MASK}:
+            return MASK
+        return UNKNOWN
+    if isinstance(node, ast.Attribute):
+        if node.attr in _ARRAY_ATTRS:
+            return ARRAY
+        return UNKNOWN
+    if isinstance(node, ast.Subscript):
+        index_kind = classify_expr(node.slice, bindings)
+        if isinstance(node.slice, ast.Slice) or index_kind in (ARRAY, MASK):
+            return ARRAY
+        return UNKNOWN
+    if isinstance(node, ast.Slice):
+        return SCALAR  # handled structurally by callers
+    if isinstance(node, ast.Tuple):
+        kinds = {classify_expr(element, bindings) for element in node.elts}
+        if ARRAY in kinds:
+            return ARRAY
+        return SCALAR if kinds <= {SCALAR} else UNKNOWN
+    if isinstance(node, ast.BinOp):
+        left = classify_expr(node.left, bindings)
+        right = classify_expr(node.right, bindings)
+        if ARRAY in (left, right):
+            return ARRAY
+        if left == right == SCALAR:
+            return SCALAR
+        return UNKNOWN
+    return UNKNOWN
+
+
+def index_may_repeat(index: ast.AST, bindings: Dict[str, set]) -> bool:
+    """Whether a subscript index can address one slot twice.
+
+    True only for (possible) integer arrays.  Scalars address one
+    slot; slices and boolean masks address each slot at most once, so
+    buffered writes through them are safe.
+    """
+    if isinstance(index, ast.Slice):
+        return False
+    if isinstance(index, ast.Tuple):
+        return any(
+            index_may_repeat(element, bindings)
+            for element in index.elts
+            if not isinstance(element, ast.Slice)
+        )
+    return classify_expr(index, bindings) == ARRAY

@@ -1,0 +1,327 @@
+"""Split-safety verification of vertex programs (Theorems 1 and 3).
+
+The checker discovers every ``PushProgram`` / ``PullProgram`` subclass
+in the scanned sources and, for each one, statically derives the facts
+the paper's correctness argument rests on:
+
+* **Theorem 3 algebra** — the declared ``reduce`` must be one of
+  ``ReduceOp.MIN/MAX/ADD``, the associative+commutative reductions for
+  which scatter order (and virtual-split pull folding) is irrelevant;
+* **path-metric class** — the ``relax`` body is classified as
+  *additive* (``src + w``), *widest-path* (``min(src, w)``), or
+  *propagation* (``src``), which by Theorem 1 fixes the dumb weight a
+  physical transform must place on introduced edges (0 / +inf / none);
+* **table cross-check** — both derivations are diffed against the
+  structured expectations exported by
+  :mod:`repro.core.applicability`; drift in either direction (a
+  program the table does not know, a table entry with no program, or a
+  disagreeing relax/reduce/dumb-weight triple) is an error.
+
+The derivation is purely syntactic — nothing is imported from the
+scanned files — so seeded-violation fixtures and broken working trees
+are analyzable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analyze.astutils import (
+    SourceFile,
+    base_names,
+    call_name,
+    class_constant,
+    iter_class_functions,
+)
+from repro.analyze.report import Finding
+from repro.core.applicability import (
+    COMPOSED_ANALYSES,
+    PROGRAM_EXPECTATIONS,
+    RELAX_CLASS_DUMB_WEIGHT,
+    REQUIREMENTS,
+)
+
+#: base-class names that mark a vertex program.
+_PROGRAM_BASES = {"PushProgram", "PullProgram"}
+
+#: the Theorem 3 algebra: associative + commutative reductions.
+_COMMUTATIVE_REDUCES = {"MIN", "MAX", "ADD"}
+
+
+class ProgramFacts:
+    """Statically derived facts about one program class."""
+
+    def __init__(self, source: SourceFile, cls: ast.ClassDef) -> None:
+        self.source = source
+        self.cls = cls
+        self.name = _string_constant(class_constant(cls, "name"))
+        self.reduce_member = _reduce_member(class_constant(cls, "reduce"))
+        self.reduce_line = _node_line(class_constant(cls, "reduce"), cls)
+        self.relax = _find_method(cls, "relax")
+        self.relax_class = (
+            classify_relax(self.relax) if self.relax is not None else None
+        )
+
+
+def check_programs(sources: List[SourceFile]) -> List[Finding]:
+    """Run the split-safety family over the scanned sources."""
+    findings: List[Finding] = []
+    programs: List[ProgramFacts] = []
+    for source in sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and (
+                set(base_names(node)) & _PROGRAM_BASES
+            ):
+                programs.append(ProgramFacts(source, node))
+
+    seen_names: Set[str] = set()
+    for facts in programs:
+        findings.extend(_check_one(facts))
+        if facts.name:
+            seen_names.add(facts.name)
+
+    # Reverse drift: only meaningful when the scan actually covered
+    # vertex-program definitions (a partial-path run over, say, the
+    # service layer must not demand the programs module be present).
+    if programs:
+        findings.extend(_check_table_coverage(seen_names, programs))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Per-program checks
+# ----------------------------------------------------------------------
+def _check_one(facts: ProgramFacts) -> List[Finding]:
+    findings: List[Finding] = []
+    path = facts.source.path
+    cls_line = facts.cls.lineno
+    label = facts.name or facts.cls.name
+
+    # Theorem 3: the declared reduction's algebra.
+    if facts.reduce_member is None:
+        findings.append(Finding.make(
+            "SPLIT001", path, facts.reduce_line or cls_line,
+            f"{label}: reduce is not a ReduceOp member; Theorem 3 "
+            f"requires an associative+commutative reduction",
+        ))
+    elif facts.reduce_member not in _COMMUTATIVE_REDUCES:
+        findings.append(Finding.make(
+            "SPLIT001", path, facts.reduce_line or cls_line,
+            f"{label}: ReduceOp.{facts.reduce_member} is not in the "
+            f"associative+commutative set "
+            f"{{{', '.join(sorted(_COMMUTATIVE_REDUCES))}}} (Theorem 3)",
+        ))
+
+    relax_line = facts.relax.lineno if facts.relax is not None else cls_line
+    if facts.relax is not None and facts.relax_class is None:
+        findings.append(Finding.make(
+            "SPLIT002", path, relax_line,
+            f"{label}: relax body matches no known path-metric class "
+            f"(additive / widest_path / propagation); Theorem 1 dumb "
+            f"weight cannot be verified",
+        ))
+
+    # Table cross-check.
+    if facts.name is None:
+        findings.append(Finding.make(
+            "SPLIT004", path, cls_line,
+            f"{facts.cls.name}: program declares no literal `name`; it "
+            f"cannot be matched against the §3.3 applicability table",
+        ))
+        return findings
+    expectation = PROGRAM_EXPECTATIONS.get(facts.name)
+    if expectation is None:
+        findings.append(Finding.make(
+            "SPLIT004", path, cls_line,
+            f"{label}: no ProgramExpectation in "
+            f"repro.core.applicability.PROGRAM_EXPECTATIONS — add one "
+            f"(or the program serves an analytic splitting cannot "
+            f"preserve)",
+        ))
+        return findings
+
+    requirement = REQUIREMENTS.get(expectation.analysis)
+    if requirement is not None and not requirement.split_safe:
+        findings.append(Finding.make(
+            "SPLIT004", path, cls_line,
+            f"{label}: backs analysis {expectation.analysis!r}, which "
+            f"the §3.3 table marks split-unsafe "
+            f"({requirement.justification})",
+        ))
+
+    if (
+        facts.reduce_member is not None
+        and facts.reduce_member.lower() != expectation.reduce_op
+    ):
+        findings.append(Finding.make(
+            "SPLIT005", path, facts.reduce_line or cls_line,
+            f"{label}: declares ReduceOp.{facts.reduce_member} but the "
+            f"applicability table expects "
+            f"ReduceOp.{expectation.reduce_op.upper()}",
+        ))
+
+    if facts.relax_class is not None:
+        if facts.relax_class != expectation.relax_class:
+            findings.append(Finding.make(
+                "SPLIT002", path, relax_line,
+                f"{label}: relax classifies as {facts.relax_class!r} "
+                f"but the applicability table expects "
+                f"{expectation.relax_class!r}",
+            ))
+        inferred = RELAX_CLASS_DUMB_WEIGHT[facts.relax_class]
+        if inferred is not expectation.dumb_weight:
+            findings.append(Finding.make(
+                "SPLIT003", path, relax_line,
+                f"{label}: Theorem 1 implies dumb weight "
+                f"{inferred.value!r} for a {facts.relax_class} relax, "
+                f"but the table declares "
+                f"{expectation.dumb_weight.value!r}",
+            ))
+    return findings
+
+
+def _check_table_coverage(
+    seen_names: Set[str], programs: List[ProgramFacts]
+) -> List[Finding]:
+    """Table-side drift: expectations/analyses with no backing program."""
+    findings: List[Finding] = []
+    # Anchor table-side findings on the file that defined the most
+    # programs — the place the missing definition belongs.
+    anchor = max(
+        (facts.source.path for facts in programs),
+        key=lambda p: sum(f.source.path == p for f in programs),
+    )
+    for name, expectation in sorted(PROGRAM_EXPECTATIONS.items()):
+        if name not in seen_names:
+            findings.append(Finding.make(
+                "SPLIT004", anchor, 1,
+                f"applicability table expects a program named {name!r} "
+                f"(analysis {expectation.analysis!r}) but the scan "
+                f"found none",
+            ))
+    covered = {
+        PROGRAM_EXPECTATIONS[name].analysis
+        for name in seen_names
+        if name in PROGRAM_EXPECTATIONS
+    }
+    for analysis, requirement in sorted(REQUIREMENTS.items()):
+        if not requirement.split_safe:
+            continue
+        if analysis in covered:
+            continue
+        parts = COMPOSED_ANALYSES.get(analysis)
+        if parts is not None and all(
+            PROGRAM_EXPECTATIONS[p].analysis in covered for p in parts
+        ):
+            continue
+        findings.append(Finding.make(
+            "SPLIT004", anchor, 1,
+            f"split-safe analysis {analysis!r} has neither a backing "
+            f"program nor a composition in COMPOSED_ANALYSES",
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Relax-body classification
+# ----------------------------------------------------------------------
+def classify_relax(func: ast.FunctionDef) -> Optional[str]:
+    """Classify a relax body by its returned expressions.
+
+    Every return must agree on one class; a mixed or unrecognized body
+    is unclassifiable (``None``).  Parameter names are taken from the
+    signature, so renamed arguments still classify.
+    """
+    params = [arg.arg for arg in func.args.args if arg.arg != "self"]
+    if len(params) < 2:
+        return None
+    src_param, weights_param = params[0], params[1]
+    classes: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        cls = _classify_return(node.value, src_param, weights_param)
+        if cls is None:
+            return None
+        classes.add(cls)
+    if len(classes) != 1:
+        return None
+    return classes.pop()
+
+
+def _classify_return(
+    node: ast.AST, src_param: str, weights_param: str
+) -> Optional[str]:
+    def is_src(expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Name) and expr.id == src_param
+
+    def is_weightish(expr: ast.AST) -> bool:
+        # The second relax operand: the per-edge weight array or a
+        # constant standing in for unit weights (BFS's `+ 1.0`).
+        return (
+            (isinstance(expr, ast.Name) and expr.id == weights_param)
+            or isinstance(expr, ast.Constant)
+        )
+
+    # additive: src + w  /  w + src  (Corollary 2, dumb weight 0).
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        operands = (node.left, node.right)
+        if any(is_src(op) for op in operands) and any(
+            is_weightish(op) for op in operands
+        ):
+            return "additive"
+        return None
+    # widest_path: np.minimum(src, w)  (Corollary 3, dumb weight +inf).
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        tail = name.rsplit(".", 1)[-1]
+        if tail in ("minimum", "fmin") and len(node.args) == 2:
+            if any(is_src(op) for op in node.args) and any(
+                is_weightish(op) for op in node.args
+            ):
+                return "widest_path"
+            return None
+        # propagation: src.copy()  (weight-oblivious).
+        if (
+            tail == "copy"
+            and isinstance(node.func, ast.Attribute)
+            and is_src(node.func.value)
+        ):
+            return "propagation"
+        return None
+    # propagation: bare `return src`.
+    if is_src(node):
+        return "propagation"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Small extractors
+# ----------------------------------------------------------------------
+def _string_constant(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _reduce_member(node: Optional[ast.AST]) -> Optional[str]:
+    """The ``X`` of a ``reduce = ReduceOp.X`` class attribute."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "ReduceOp"
+    ):
+        return node.attr
+    return None
+
+
+def _node_line(node: Optional[ast.AST], fallback: ast.AST) -> int:
+    return getattr(node, "lineno", fallback.lineno)
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for method_name, func in iter_class_functions(cls):
+        if method_name == name and isinstance(func, ast.FunctionDef):
+            return func
+    return None

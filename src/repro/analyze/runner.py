@@ -1,0 +1,123 @@
+"""Analyzer entry points: path collection, checker dispatch, CLI.
+
+``analyze_paths`` is the library API (the tests call it directly);
+``main`` backs ``python -m repro analyze`` and the CI gate::
+
+    python -m repro analyze                 # human listing, repo tree
+    python -m repro analyze --json          # machine-readable findings
+    python -m repro analyze --strict        # exit 1 on error findings
+    python -m repro analyze path/ other.py  # explicit roots
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+import repro
+from repro.analyze.astutils import load_sources
+from repro.analyze.locks import check_locks
+from repro.analyze.programs import check_programs
+from repro.analyze.report import RULES, Report, is_suppressed
+from repro.analyze.scatter import check_scatter
+
+#: checker families in reporting order.
+CHECKERS = (check_programs, check_locks, check_scatter)
+
+
+def default_root() -> str:
+    """The installed ``repro`` package tree (the repo's own sources)."""
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def analyze_paths(
+    paths: Optional[Sequence[str]] = None,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    honor_suppressions: bool = True,
+) -> Report:
+    """Run every checker over ``paths`` (default: the repro package).
+
+    ``rules`` restricts reporting to the given rule ids;
+    ``honor_suppressions=False`` reports even pragma-silenced findings
+    (used by the analyzer's own tests).
+    """
+    if rules is not None:
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    sources = load_sources(list(paths) if paths else [default_root()])
+    report = Report(files_scanned=len(sources))
+    by_path = {source.path: source for source in sources}
+    for checker in CHECKERS:
+        for finding in checker(sources):
+            if rules is not None and finding.rule_id not in rules:
+                continue
+            source = by_path.get(finding.path)
+            if (
+                honor_suppressions
+                and source is not None
+                and is_suppressed(finding, source.lines)
+            ):
+                report.suppressed += 1
+                continue
+            report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description=(
+            "Static split-safety verifier (Theorems 1/3 vs the §3.3 "
+            "applicability table) plus lock-discipline and numpy "
+            "scatter-race lint."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any error-severity finding remains",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="only report the given rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--no-suppress", action="store_true",
+        help="report findings even on '# analyze: ignore' lines",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    try:
+        report = analyze_paths(
+            args.paths or None,
+            rules=args.rule,
+            honor_suppressions=not args.no_suppress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.to_text())
+    if args.strict and report.errors:
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Buffered numpy scatter-write lint.
+
+The engines model GPU atomics with *unbuffered* ``ufunc.at`` calls
+(:meth:`repro.engine.program.ReduceOp.scatter`): when the destination
+index array contains a node twice, both candidates fold.  The buffered
+spellings look identical and silently do not::
+
+    values[index] += candidates          # each duplicate folds ONCE
+    values[index] = np.minimum(values[index], candidates)   # same bug
+    np.minimum(values[index], c, out=values[index])         # same bug
+
+numpy evaluates the gather once, applies the op, and writes back — the
+classic lost-fold race that Theorem 3's associativity argument exists
+to make irrelevant *provided the fold actually happens*.
+
+The checker flags these three shapes whenever the subscript index is
+classified as a (possibly repeating) integer array by the light local
+dataflow in :mod:`repro.analyze.astutils`.  Scalar indices, slices,
+and boolean masks cannot repeat and are never flagged, which keeps the
+ordinary ``for u in range(n): counts[u] += 1`` reference code quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.analyze.astutils import (
+    SourceFile,
+    call_name,
+    index_may_repeat,
+    local_bindings,
+)
+from repro.analyze.report import Finding
+
+#: ufuncs whose buffered application into an indexed target loses folds.
+_FOLD_UFUNCS = {"minimum", "maximum", "fmin", "fmax", "add"}
+
+
+def check_scatter(sources: List[SourceFile]) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in sources:
+        for scope in _scopes(source.tree):
+            bindings = local_bindings(scope)
+            for node in _scope_statements(scope):
+                findings.extend(_check_node(source, node, bindings))
+    return findings
+
+
+def _scopes(tree: ast.Module):
+    """The module plus every function, each analyzed with its own bindings."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_statements(scope: ast.AST):
+    """Nodes belonging to ``scope`` but not to a nested function."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_node(
+    source: SourceFile, node: ast.AST, bindings: Dict[str, set]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    # values[index] op= candidates
+    if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Subscript):
+        if index_may_repeat(node.target.slice, bindings):
+            findings.append(Finding.make(
+                "SCAT001", source.path, node.lineno,
+                "augmented assignment into an array-indexed target "
+                "buffers duplicate indices (each folds once); use the "
+                "unbuffered ufunc.at path (ReduceOp.scatter)",
+            ))
+        return findings
+    # values[index] = np.minimum(values[index], candidates)
+    if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+        ufunc = _fold_ufunc(node.value)
+        if ufunc is not None:
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and index_may_repeat(target.slice, bindings)
+                    and _subscript_in_args(target, node.value)
+                ):
+                    findings.append(Finding.make(
+                        "SCAT002", source.path, node.lineno,
+                        f"np.{ufunc} gathered and written back through "
+                        f"an array index drops duplicate-index folds; "
+                        f"use np.{ufunc}.at(values, index, candidates)",
+                    ))
+        return findings
+    # np.minimum(..., out=values[index])
+    if isinstance(node, ast.Call):
+        ufunc = _fold_ufunc(node)
+        if ufunc is None:
+            return findings
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "out"
+                and isinstance(keyword.value, ast.Subscript)
+                and index_may_repeat(keyword.value.slice, bindings)
+            ):
+                findings.append(Finding.make(
+                    "SCAT002", source.path, node.lineno,
+                    f"np.{ufunc} with out= aimed at an array-indexed "
+                    f"view writes a buffered temporary; duplicate "
+                    f"indices fold once — use np.{ufunc}.at",
+                ))
+    return findings
+
+
+def _fold_ufunc(call: ast.Call) -> "str | None":
+    name = call_name(call)
+    if not name.startswith(("np.", "numpy.")):
+        return None
+    tail = name.rsplit(".", 1)[-1]
+    return tail if tail in _FOLD_UFUNCS else None
+
+
+def _subscript_in_args(target: ast.Subscript, call: ast.Call) -> bool:
+    """Whether the written subscript is also gathered as an argument."""
+    rendered = ast.dump(target)
+    # ast.dump includes ctx; normalize Store vs Load.
+    rendered = rendered.replace("ctx=Store()", "ctx=Load()")
+    for arg in call.args:
+        if ast.dump(arg).replace("ctx=Store()", "ctx=Load()") == rendered:
+            return True
+    return False

@@ -94,6 +94,64 @@ REQUIREMENTS: Dict[str, AnalysisRequirements] = {
 }
 
 
+#: relax-body path-metric classes and the Theorem 1 dumb weight each
+#: one demands on transformation-introduced edges.  The static
+#: analyzer (:mod:`repro.analyze.programs`) classifies every
+#: ``PushProgram.relax`` body into one of these and cross-checks the
+#: result against :data:`PROGRAM_EXPECTATIONS`.
+RELAX_CLASS_DUMB_WEIGHT: Dict[str, DumbWeight] = {
+    #: ``alt = src + w`` — additive path metric (Corollary 2).
+    "additive": DumbWeight.ZERO,
+    #: ``alt = min(src, w)`` — bottleneck path metric (Corollary 3).
+    "widest_path": DumbWeight.INFINITY,
+    #: ``alt = src`` — weight-oblivious label/rank propagation.
+    "propagation": DumbWeight.NONE,
+}
+
+
+@dataclass(frozen=True)
+class ProgramExpectation:
+    """What the §3.3 table expects of one ``PushProgram`` subclass.
+
+    ``program`` is the subclass's ``name`` attribute; ``analysis`` the
+    :data:`REQUIREMENTS` key it serves.  ``relax_class`` and
+    ``reduce_op`` pin the (relax, reduce) pair Theorems 1 and 3
+    certify — editing either side of the pair without updating this
+    table is exactly the drift ``repro analyze`` exists to catch.
+    """
+
+    program: str
+    analysis: str
+    relax_class: str
+    reduce_op: str
+
+    @property
+    def dumb_weight(self) -> DumbWeight:
+        """The table's dumb-weight policy for the backing analysis."""
+        return REQUIREMENTS[self.analysis].dumb_weight
+
+
+#: expectations for every vertex program the engines execute, keyed by
+#: the program's ``name`` attribute.
+PROGRAM_EXPECTATIONS: Dict[str, ProgramExpectation] = {
+    exp.program: exp
+    for exp in [
+        ProgramExpectation("bfs", "bfs", "additive", "min"),
+        ProgramExpectation("sssp", "sssp", "additive", "min"),
+        ProgramExpectation("sswp", "sswp", "widest_path", "max"),
+        ProgramExpectation("cc", "cc", "propagation", "min"),
+        ProgramExpectation("pagerank", "pr", "propagation", "add"),
+    ]
+}
+
+#: split-safe analytics with no dedicated vertex program because they
+#: are composed from other programs' passes (BC runs BFS/SSSP forward
+#: phases plus a dependency accumulation, §3.3 / Corollary 2).
+COMPOSED_ANALYSES: Dict[str, Tuple[str, ...]] = {
+    "bc": ("bfs", "sssp"),
+}
+
+
 def is_split_safe(analysis: str) -> bool:
     """Whether physical split transformations preserve ``analysis``.
 

@@ -68,3 +68,22 @@ class ServiceError(TigrError):
     submissions against a stopped service, and queue overload when the
     caller asked not to block (backpressure).
     """
+
+
+class SplitSafetyError(ServiceError):
+    """A split transform was requested for a split-unsafe analytic.
+
+    The §3.3 applicability table (:mod:`repro.core.applicability`)
+    proves which analytics survive node splitting; requesting a
+    physical split for one that does not (or for an analytic the table
+    has never classified) is a planning error, rejected before any
+    transform work is spent.  Subclasses :class:`ServiceError` so
+    existing blanket handlers keep working.
+    """
+
+    def __init__(self, algorithm: str, justification: str) -> None:
+        self.algorithm = algorithm
+        self.justification = justification
+        super().__init__(
+            f"split transform cannot serve {algorithm!r}: {justification}"
+        )

@@ -23,7 +23,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.core.udt import udt_transform
@@ -305,8 +305,12 @@ class GraphCatalog:
             return lock
 
     def __repr__(self) -> str:
+        with self._lock:
+            entries = len(self._entries)
+            bytes_in_memory = self.stats.bytes_in_memory
+            hit_rate = self.stats.hit_rate
         return (
-            f"GraphCatalog(entries={len(self._entries)}, "
-            f"bytes={self.stats.bytes_in_memory}/{self.memory_budget_bytes}, "
-            f"hit_rate={self.stats.hit_rate:.2f})"
+            f"GraphCatalog(entries={entries}, "
+            f"bytes={bytes_in_memory}/{self.memory_budget_bytes}, "
+            f"hit_rate={hit_rate:.2f})"
         )

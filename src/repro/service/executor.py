@@ -74,7 +74,8 @@ class QueryTicket:
         return self._event.is_set()
 
     def cancelled(self) -> bool:
-        return self._cancelled
+        with self._lock:
+            return self._cancelled
 
     def cancel(self) -> bool:
         """Cancel if still queued; returns whether it took effect."""

@@ -122,20 +122,36 @@ class ServiceMetrics:
             }
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict for table formatting, like ``RunMetrics.summary``."""
-        out: Dict[str, float] = {
-            "queries_total": self.queries_total,
-            "queries_failed": self.queries_failed,
-            "queries_degraded": self.queries_degraded,
-            "queries_timed_out": self.queries_timed_out,
-            "queries_cancelled": self.queries_cancelled,
-            "cache_hit_rate": self.cache_hit_rate,
-            "batches_merged": self.batches_merged,
-            "sources_deduped": self.sources_deduped,
-            "queue_depth": self.queue_depth,
-            "max_queue_depth": self.max_queue_depth,
-        }
-        for stage, values in self.latency_percentiles((0.5, 0.95)).items():
+        """Flat dict for table formatting, like ``RunMetrics.summary``.
+
+        Snapshots every counter under one lock acquisition so the
+        reported fields are mutually consistent even while workers
+        record concurrently.
+        """
+        with self._lock:
+            out: Dict[str, float] = {
+                "queries_total": self.queries_total,
+                "queries_failed": self.queries_failed,
+                "queries_degraded": self.queries_degraded,
+                "queries_timed_out": self.queries_timed_out,
+                "queries_cancelled": self.queries_cancelled,
+                "cache_hit_rate": (
+                    self.cache_hits / self.queries_total
+                    if self.queries_total else 0.0
+                ),
+                "batches_merged": self.batches_merged,
+                "sources_deduped": self.sources_deduped,
+                "queue_depth": self._queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+            }
+            percentiles = {
+                stage: {
+                    f"p{int(f * 100)}": percentile(samples, f)
+                    for f in (0.5, 0.95)
+                }
+                for stage, samples in self._stage_samples.items()
+            }
+        for stage, values in percentiles.items():
             for name, seconds in values.items():
                 out[f"{stage}_{name}_ms"] = seconds * 1e3
         if self._catalog_stats is not None:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 
 from repro.core import applicability, selection
 from repro.core.weights import DumbWeight
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SplitSafetyError
 from repro.graph.csr import CSRGraph
 from repro.service.query import QueryRequest
 
@@ -88,11 +88,15 @@ def plan_query(request: QueryRequest, graph: CSRGraph) -> QueryPlan:
             reason="explicit untransformed run",
         )
     if transform == "udt":
-        if not applicability.is_split_safe(algorithm):
-            raise ServiceError(
-                f"udt cannot serve {algorithm}: "
-                + applicability.REQUIREMENTS[algorithm].justification
+        requirement = applicability.REQUIREMENTS.get(algorithm)
+        if requirement is None:
+            raise SplitSafetyError(
+                algorithm,
+                "not classified by the §3.3 applicability table, so no "
+                "split-safety proof exists for it",
             )
+        if not requirement.split_safe:
+            raise SplitSafetyError(algorithm, requirement.justification)
         if algorithm not in UDT_EXECUTABLE:
             raise ServiceError(
                 f"udt cannot serve {algorithm}: the push engine does not "
