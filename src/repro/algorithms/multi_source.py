@@ -1,4 +1,4 @@
-"""Multi-source analytics built on the single-source engines.
+"""Multi-source analytics built on the lane-parallel engines.
 
 Downstream adopters of a graph engine rarely stop at one traversal;
 these helpers batch the paper's primitives into the derived analytics
@@ -12,21 +12,41 @@ they are compositions of the split-safe primitives:
   evaluations like the paper's run per-source anyway);
 * :func:`multi_source_distances` — a distance matrix slice for a set
   of sources.
+
+Since the lane-parallel engine mode
+(:func:`repro.engine.push.run_push_lanes`), a whole batch of sources
+rides **one** traversal: values are an ``(n, S)`` matrix, the frontier
+is the union of per-lane frontiers, and one edge gather serves every
+lane.  Memory is ``O(n * S)``, so large source sets are processed in
+*lane blocks* of at most :data:`DEFAULT_MAX_LANES` sources (see
+``docs/multi-source.md`` for the heuristic).  Column ``k`` of a lane
+run is bitwise-identical to the scalar run from ``sources[k]``, so
+``mode="lanes"`` and ``mode="loop"`` return the exact same floats.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.algorithms._dispatch import Target, resolve_scheduler
-from repro.algorithms.bc import bc
+from repro.algorithms.bc import bc, bc_lanes
 from repro.algorithms.bfs import bfs
+from repro.algorithms.programs import BFSProgram, SSSPProgram
 from repro.algorithms.sssp import sssp
-from repro.engine.push import EngineOptions
+from repro.engine.push import EngineOptions, run_push_lanes
 from repro.errors import EngineError
 from repro.gpu.simulator import GPUSimulator
+
+#: default lane-block width.  64 lanes keep the value matrix at
+#: ``n * 512`` bytes — small next to the edge arrays for any graph
+#: worth batching — and align with the 64-bit words of the bit-packed
+#: BFS fast path (one word per node per block).
+DEFAULT_MAX_LANES = 64
+
+#: accepted execution modes for the multi-source helpers.
+_MODES = ("auto", "lanes", "loop")
 
 
 def _pick_sources(
@@ -46,6 +66,27 @@ def _pick_sources(
     return np.sort(rng.choice(num_nodes, size=num_sources, replace=False))
 
 
+def _check_mode(mode: str) -> str:
+    if mode not in _MODES:
+        raise EngineError(f"mode must be one of {_MODES}, got {mode!r}")
+    return mode
+
+
+def lane_blocks(
+    num_sources: int, max_lanes: int = DEFAULT_MAX_LANES
+) -> Iterator[slice]:
+    """Slices partitioning ``num_sources`` into lane-width blocks.
+
+    The value matrix of a lane pass costs ``O(n * S)`` memory, so a
+    large source set runs as several passes of at most ``max_lanes``
+    lanes each — the lane-blocking heuristic of ``docs/multi-source.md``.
+    """
+    if max_lanes < 1:
+        raise EngineError("max_lanes must be >= 1")
+    for start in range(0, num_sources, max_lanes):
+        yield slice(start, min(start + max_lanes, num_sources))
+
+
 def multi_source_distances(
     target: Target,
     sources: Sequence[int],
@@ -53,20 +94,54 @@ def multi_source_distances(
     weighted: bool = True,
     options: EngineOptions = EngineOptions(),
     simulator: Optional[GPUSimulator] = None,
+    mode: str = "auto",
+    max_lanes: int = DEFAULT_MAX_LANES,
 ) -> np.ndarray:
     """Distance rows for each source: shape ``(len(sources), n)``.
 
     Uses SSSP when ``weighted`` (requires edge weights), BFS hop
     counts otherwise.
+
+    ``mode`` selects the execution strategy: ``"lanes"`` collapses the
+    whole batch into lane-parallel passes (one traversal per
+    ``max_lanes`` sources, duplicates deduplicated and sliced back),
+    ``"loop"`` runs one scalar engine pass per listed source, and
+    ``"auto"`` (default) picks lanes whenever more than one distinct
+    source is requested.  Both modes return bitwise-identical floats.
     """
+    _check_mode(mode)
     scheduler = resolve_scheduler(target)
-    runner = sssp if weighted else bfs
-    rows = []
-    for source in sources:
-        result = runner(scheduler, int(source), options=options,
-                        simulator=simulator)
-        rows.append(result.values)
-    return np.vstack(rows) if rows else np.zeros((0, scheduler.graph.num_nodes))
+    n = scheduler.graph.num_nodes
+    if len(sources) == 0:
+        return np.zeros((0, n))
+
+    if mode == "loop":
+        runner = sssp if weighted else bfs
+        rows = []
+        for source in sources:
+            result = runner(scheduler, int(source), options=options,
+                            simulator=simulator)
+            rows.append(result.values)
+        return np.vstack(rows)
+
+    requested = np.asarray(sources, dtype=np.int64)
+    unique, inverse = np.unique(requested, return_inverse=True)
+    if mode == "auto" and len(unique) == 1:
+        runner = sssp if weighted else bfs
+        row = runner(scheduler, int(unique[0]), options=options,
+                     simulator=simulator).values
+        return np.tile(row, (len(requested), 1))
+
+    program = SSSPProgram() if weighted else BFSProgram()
+    matrix = np.empty((n, len(unique)))
+    for block in lane_blocks(len(unique), max_lanes):
+        result = run_push_lanes(
+            scheduler, program, unique[block].tolist(),
+            options=options, simulator=simulator,
+        )
+        matrix[:, block] = result.values
+    # one row per *requested* source: duplicates share a lane's column.
+    return matrix.T[inverse]
 
 
 def closeness_centrality(
@@ -77,6 +152,8 @@ def closeness_centrality(
     weighted: bool = False,
     seed: Optional[int] = 0,
     options: EngineOptions = EngineOptions(),
+    mode: str = "auto",
+    max_lanes: int = DEFAULT_MAX_LANES,
 ) -> np.ndarray:
     """Harmonic closeness: ``C(v) = sum over reached u of 1/d(u, v)``.
 
@@ -84,18 +161,25 @@ def closeness_centrality(
     nodes are sources), then normalised by the sample fraction so the
     estimate is unbiased.  Harmonic (not classic) closeness is used
     because it is well-defined on disconnected graphs.
+
+    The whole picked source set goes through
+    :func:`multi_source_distances` in one call (lane-blocked
+    traversals); rows are folded into the accumulator in source order,
+    so the result is bitwise-identical to the historical per-source
+    loop.
     """
     scheduler = resolve_scheduler(target)
     n = scheduler.graph.num_nodes
     picked = _pick_sources(n, num_sources, sources, seed)
     closeness = np.zeros(n)
-    for source in picked:
-        dist = multi_source_distances(
-            scheduler, [int(source)], weighted=weighted, options=options
-        )[0]
-        contrib = np.zeros(n)
+    distances = multi_source_distances(
+        scheduler, picked, weighted=weighted, options=options,
+        mode=mode, max_lanes=max_lanes,
+    )
+    for dist in distances:
         reachable = np.isfinite(dist) & (dist > 0)
-        contrib[reachable] = 1.0 / dist[reachable]
+        contrib = np.zeros(n)
+        np.divide(1.0, dist, out=contrib, where=reachable)
         closeness += contrib
     if len(picked) and len(picked) < n:
         closeness *= n / len(picked)
@@ -109,6 +193,8 @@ def approximate_bc(
     sources: Optional[Sequence[int]] = None,
     seed: Optional[int] = 0,
     options: EngineOptions = EngineOptions(),
+    mode: str = "auto",
+    max_lanes: int = DEFAULT_MAX_LANES,
 ) -> np.ndarray:
     """Betweenness centrality from sampled Brandes sources.
 
@@ -116,13 +202,26 @@ def approximate_bc(
     :func:`repro.algorithms.reference.reference_bc` with
     ``source=None``); with a sample it is the standard unbiased
     estimator scaled by ``n / #samples``.
+
+    ``mode="lanes"`` (or ``"auto"`` with more than one source) runs
+    lane-blocked :func:`repro.algorithms.bc.bc_lanes` passes — both
+    Brandes phases carry all lanes of a block at once — and folds the
+    per-source columns in the same order the scalar loop would, so the
+    two modes agree bitwise.
     """
+    _check_mode(mode)
     scheduler = resolve_scheduler(target)
     n = scheduler.graph.num_nodes
     picked = _pick_sources(n, num_sources, sources, seed)
     centrality = np.zeros(n)
-    for source in picked:
-        centrality += bc(scheduler, int(source), options=options).centrality
+    if mode == "loop" or (mode == "auto" and len(picked) <= 1):
+        for source in picked:
+            centrality += bc(scheduler, int(source), options=options).centrality
+    else:
+        for block in lane_blocks(len(picked), max_lanes):
+            columns = bc_lanes(scheduler, picked[block], options=options)
+            for k in range(columns.shape[1]):
+                centrality += columns[:, k]
     if len(picked) and len(picked) < n:
         centrality *= n / len(picked)
     return centrality

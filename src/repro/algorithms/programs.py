@@ -37,6 +37,7 @@ class BFSProgram(PushProgram):
 
     name = "bfs"
     reduce = ReduceOp.MIN
+    unit_hop_metric = True
 
     def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
         values = np.full(num_nodes, np.inf)

@@ -48,6 +48,11 @@ _PROGRAM_BASES = {"PushProgram", "PullProgram"}
 #: the Theorem 3 algebra: associative + commutative reductions.
 _COMMUTATIVE_REDUCES = {"MIN", "MAX", "ADD"}
 
+#: idempotent reductions — the lane-safety criterion (SPLIT006): the
+#: union frontier re-relaxes quiescent lanes, and only an idempotent
+#: fold absorbs the duplicates.
+_IDEMPOTENT_REDUCES = {"MIN", "MAX"}
+
 
 class ProgramFacts:
     """Statically derived facts about one program class."""
@@ -62,6 +67,20 @@ class ProgramFacts:
         self.relax_class = (
             classify_relax(self.relax) if self.relax is not None else None
         )
+        #: literal ``lane_safe = True/False`` override, if declared.
+        self.lane_safe_override = _bool_constant(
+            class_constant(cls, "lane_safe")
+        )
+
+    @property
+    def lane_safe_derived(self) -> Optional[bool]:
+        """Lane safety the class's own source implies: a literal
+        override wins, else idempotence of the declared reduction."""
+        if self.lane_safe_override is not None:
+            return self.lane_safe_override
+        if self.reduce_member is None:
+            return None
+        return self.reduce_member in _IDEMPOTENT_REDUCES
 
 
 def check_programs(sources: List[SourceFile]) -> List[Finding]:
@@ -159,6 +178,21 @@ def _check_one(facts: ProgramFacts) -> List[Finding]:
             f"{label}: declares ReduceOp.{facts.reduce_member} but the "
             f"applicability table expects "
             f"ReduceOp.{expectation.reduce_op.upper()}",
+        ))
+
+    derived_lane_safe = facts.lane_safe_derived
+    if (
+        derived_lane_safe is not None
+        and derived_lane_safe != expectation.lane_safe_resolved
+    ):
+        findings.append(Finding.make(
+            "SPLIT006", path, facts.reduce_line or cls_line,
+            f"{label}: code implies lane_safe={derived_lane_safe} "
+            f"(reduce {facts.reduce_member or 'override'}) but the "
+            f"applicability table certifies "
+            f"lane_safe={expectation.lane_safe_resolved} — "
+            f"multi-source batching would "
+            f"{'double-count' if derived_lane_safe is False else 'be needlessly refused'}",
         ))
 
     if facts.relax_class is not None:
@@ -301,6 +335,12 @@ def _classify_return(
 # ----------------------------------------------------------------------
 def _string_constant(node: Optional[ast.AST]) -> Optional[str]:
     if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _bool_constant(node: Optional[ast.AST]) -> Optional[bool]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
         return node.value
     return None
 

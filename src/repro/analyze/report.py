@@ -86,6 +86,17 @@ RULES: Dict[str, Rule] = {
             "editing one side silently invalidates the proof.",
         ),
         Rule(
+            "SPLIT006",
+            "error",
+            "lane-safety drift between the program and the table",
+            "Lane-parallel (multi-source) execution relaxes the union "
+            "frontier for every lane; that is sound only for idempotent "
+            "reductions (MIN/MAX). The applicability table certifies "
+            "lane_safe per program, and it must match what the declared "
+            "ReduceOp implies — a reduce edit silently flipping lane "
+            "safety corrupts batched traversals.",
+        ),
+        Rule(
             "LOCK001",
             "error",
             "lock-guarded attribute mutated outside the lock",

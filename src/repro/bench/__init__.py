@@ -31,6 +31,7 @@ from repro.bench.ablations import (
 )
 from repro.bench.figures import degree_profile, figure13_speedups
 from repro.bench.hardwired import hardwired_comparison
+from repro.bench.multisource import multisource_lanes
 from repro.bench.orthogonality import device_generation_sweep, multigpu_orthogonality
 from repro.bench.report import ExperimentReport, format_table, geometric_mean
 from repro.bench.scaling import speedup_scaling, transform_scaling
@@ -68,6 +69,7 @@ __all__ = [
     "transform_scaling",
     "speedup_scaling",
     "service_throughput",
+    "multisource_lanes",
     "skew_sweep",
     "reordering_comparison",
     "bar_chart",

@@ -28,6 +28,7 @@ from repro.bench import (
     hardwired_comparison,
     k_sweep_physical,
     k_sweep_virtual,
+    multisource_lanes,
     optimization_grid,
     reordering_comparison,
     service_throughput,
@@ -69,6 +70,7 @@ EXPERIMENTS = {
     "multigpu": lambda scale: multigpu_orthogonality(scale=scale),
     "devices": lambda scale: device_generation_sweep(scale=scale),
     "service": lambda scale: service_throughput(scale=scale),
+    "multisource": lambda scale: multisource_lanes(scale=scale),
 }
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.weights import DumbWeight
 
@@ -124,11 +124,25 @@ class ProgramExpectation:
     analysis: str
     relax_class: str
     reduce_op: str
+    #: whether the pair may run lane-parallel (multi-source mode).
+    #: ``None`` means "derive from the reduction": MIN/MAX are
+    #: idempotent, so union-frontier over-relaxation folds away; ADD
+    #: double-counts.  Explicit ``True``/``False`` pins the verdict so
+    #: ``repro analyze`` (SPLIT006) catches a reduce edit that silently
+    #: flips lane safety.
+    lane_safe: Optional[bool] = None
 
     @property
     def dumb_weight(self) -> DumbWeight:
         """The table's dumb-weight policy for the backing analysis."""
         return REQUIREMENTS[self.analysis].dumb_weight
+
+    @property
+    def lane_safe_resolved(self) -> bool:
+        """The certified lane-safety verdict (explicit or derived)."""
+        if self.lane_safe is not None:
+            return self.lane_safe
+        return self.reduce_op in ("min", "max")
 
 
 #: expectations for every vertex program the engines execute, keyed by
@@ -136,11 +150,11 @@ class ProgramExpectation:
 PROGRAM_EXPECTATIONS: Dict[str, ProgramExpectation] = {
     exp.program: exp
     for exp in [
-        ProgramExpectation("bfs", "bfs", "additive", "min"),
-        ProgramExpectation("sssp", "sssp", "additive", "min"),
-        ProgramExpectation("sswp", "sswp", "widest_path", "max"),
-        ProgramExpectation("cc", "cc", "propagation", "min"),
-        ProgramExpectation("pagerank", "pr", "propagation", "add"),
+        ProgramExpectation("bfs", "bfs", "additive", "min", lane_safe=True),
+        ProgramExpectation("sssp", "sssp", "additive", "min", lane_safe=True),
+        ProgramExpectation("sswp", "sswp", "widest_path", "max", lane_safe=True),
+        ProgramExpectation("cc", "cc", "propagation", "min", lane_safe=True),
+        ProgramExpectation("pagerank", "pr", "propagation", "add", lane_safe=False),
     ]
 }
 

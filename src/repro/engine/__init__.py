@@ -17,10 +17,10 @@ simulated GPU:
 """
 
 from repro.engine.adaptive import AdaptiveOptions, AdaptiveResult, run_adaptive
-from repro.engine.frontier import DENSE_THRESHOLD, Frontier
+from repro.engine.frontier import DENSE_THRESHOLD, Frontier, LaneFrontier
 from repro.engine.program import PushProgram, ReduceOp
-from repro.engine.push import EngineOptions, EngineResult, run_push
-from repro.engine.pull import run_pull
+from repro.engine.push import EngineOptions, EngineResult, run_push, run_push_lanes
+from repro.engine.pull import run_pull, run_pull_lanes
 from repro.engine.schedule import (
     EdgeParallelScheduler,
     MaxWarpScheduler,
@@ -33,6 +33,7 @@ from repro.engine.schedule import (
 
 __all__ = [
     "Frontier",
+    "LaneFrontier",
     "AdaptiveOptions",
     "AdaptiveResult",
     "run_adaptive",
@@ -42,7 +43,9 @@ __all__ = [
     "EngineOptions",
     "EngineResult",
     "run_push",
+    "run_push_lanes",
     "run_pull",
+    "run_pull_lanes",
     "Scheduler",
     "ThreadBatch",
     "NodeScheduler",

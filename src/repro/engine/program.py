@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,15 @@ class ReduceOp(enum.Enum):
     MAX = "max"
     ADD = "add"
 
+    @property
+    def ufunc(self) -> np.ufunc:
+        """The numpy ufunc realising this reduction."""
+        if self is ReduceOp.MIN:
+            return np.minimum
+        if self is ReduceOp.MAX:
+            return np.maximum
+        return np.add
+
     def scatter(self, values: np.ndarray, index: np.ndarray, candidates: np.ndarray) -> None:
         """Apply the reduction in place: ``values[index] op= candidates``.
 
@@ -38,12 +47,7 @@ class ReduceOp(enum.Enum):
         correctly — the numpy equivalent of the GPU's atomic
         operations.
         """
-        if self is ReduceOp.MIN:
-            np.minimum.at(values, index, candidates)
-        elif self is ReduceOp.MAX:
-            np.maximum.at(values, index, candidates)
-        else:
-            np.add.at(values, index, candidates)
+        self.ufunc.at(values, index, candidates)
 
     @property
     def identity(self) -> float:
@@ -53,6 +57,17 @@ class ReduceOp(enum.Enum):
         if self is ReduceOp.MAX:
             return float(-np.inf)
         return 0.0
+
+    @property
+    def idempotent(self) -> bool:
+        """Whether folding the same candidate twice is a no-op.
+
+        MIN and MAX are idempotent; ADD is not.  Idempotence is what
+        makes lane-parallel execution safe: the union frontier relaxes
+        a node for *every* lane, including lanes whose value did not
+        change, and those redundant candidates must fold away.
+        """
+        return self is not ReduceOp.ADD
 
 
 class PushProgram(ABC):
@@ -68,6 +83,10 @@ class PushProgram(ABC):
     reduce: ReduceOp = ReduceOp.MIN
     #: whether :meth:`relax` consumes edge weights.
     needs_weights: bool = False
+    #: on an *unweighted* graph the relax is exactly ``src + 1`` and
+    #: values are hop counts — the marker the lane engine keys its
+    #: bit-packed MS-BFS fast path on.
+    unit_hop_metric: bool = False
 
     @abstractmethod
     def initial_values(self, num_nodes: int, source: Optional[int]) -> np.ndarray:
@@ -98,3 +117,62 @@ class PushProgram(ABC):
         kernels' branch would skip.
         """
         return None
+
+    # ------------------------------------------------------------------
+    # Lane-parallel (multi-source) extensions
+    # ------------------------------------------------------------------
+    @property
+    def lane_safe(self) -> bool:
+        """Whether this (relax, reduce) pair may run lane-parallel.
+
+        Lane-parallel execution schedules the *union* of per-lane
+        frontiers, so a node is relaxed for every lane whenever any
+        lane activated it.  That over-relaxation is harmless exactly
+        when the reduction is idempotent (MIN/MAX): redundant
+        candidates equal values already folded in.  ADD reductions
+        would double-count and must stay scalar.  The applicability
+        table (:data:`repro.core.applicability.PROGRAM_EXPECTATIONS`)
+        certifies this per program, and ``repro analyze`` diffs the
+        two (SPLIT006).
+        """
+        return self.reduce.idempotent
+
+    def lane_relax(
+        self, src_values: np.ndarray, edge_weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Vectorised relax across lanes: ``(E, S) -> (E, S)``.
+
+        ``src_values`` holds each edge's source value per lane;
+        ``edge_weights`` is the per-edge weight *column* ``(E, 1)`` (or
+        ``None``), shared by every lane.  The default delegates to the
+        scalar :meth:`relax`, which is correct for any elementwise
+        relax body — numpy broadcasting applies the same arithmetic
+        per lane.  Programs whose relax cannot broadcast override
+        this.
+        """
+        return self.relax(src_values, edge_weights)
+
+    def initial_lane_values(
+        self, num_nodes: int, sources: Sequence[int]
+    ) -> np.ndarray:
+        """Per-node value matrix ``(num_nodes, len(sources))``.
+
+        Column ``k`` is the scalar initialisation for ``sources[k]``.
+        """
+        if len(sources) == 0:
+            return np.zeros((num_nodes, 0))
+        return np.stack(
+            [self.initial_values(num_nodes, int(s)) for s in sources], axis=1
+        )
+
+    def initial_lane_frontier(
+        self, num_nodes: int, sources: Sequence[int]
+    ) -> np.ndarray:
+        """Union of the per-lane initial frontiers (deduplicated)."""
+        if len(sources) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(
+            np.concatenate(
+                [self.initial_frontier(num_nodes, int(s)) for s in sources]
+            )
+        )

@@ -22,8 +22,8 @@ node, edge count, edge start slot, stride) from which both the engine
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -52,6 +52,14 @@ class ThreadBatch:
     strides: np.ndarray
     #: CSR offsets used to derive per-edge sources when phys is None.
     edge_owner: Optional[np.ndarray] = None
+    #: per-batch cache for the derived edge arrays — the lane engines
+    #: ask for both :meth:`edge_indices` and :meth:`sources_per_edge`
+    #: each launch, and recomputing the strided expansion would double
+    #: the gather cost.  Never hashed or compared; treat the cached
+    #: arrays as read-only.
+    _memo: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.phys is None and self.edge_owner is None:
@@ -67,16 +75,28 @@ class ThreadBatch:
 
     def edge_indices(self) -> np.ndarray:
         """Flat physical edge-array indices, thread by thread."""
-        return strided_ranges_to_indices(self.starts, self.counts, self.strides)
+        cached = self._memo.get("edge_indices")
+        if cached is None:
+            cached = strided_ranges_to_indices(
+                self.starts, self.counts, self.strides
+            )
+            self._memo["edge_indices"] = cached
+        return cached
 
     def sources_per_edge(self) -> np.ndarray:
         """The owning physical node of each slot of :meth:`edge_indices`."""
+        cached = self._memo.get("sources_per_edge")
+        if cached is not None:
+            return cached
         if self.phys is not None:
-            return np.repeat(self.phys, self.counts)
-        slots = self.edge_indices()
-        return (np.searchsorted(self.edge_owner, slots, side="right") - 1).astype(
-            NODE_DTYPE
-        )
+            result = np.repeat(self.phys, self.counts)
+        else:
+            slots = self.edge_indices()
+            result = (
+                np.searchsorted(self.edge_owner, slots, side="right") - 1
+            ).astype(NODE_DTYPE)
+        self._memo["sources_per_edge"] = result
+        return result
 
     def trace(self) -> WorkTrace:
         """The GPU-simulator view of this launch."""

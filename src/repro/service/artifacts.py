@@ -27,7 +27,11 @@ from repro.graph.csr import CSRGraph, NODE_DTYPE
 
 #: transform kinds the catalog understands.  ``none`` is never cached
 #: (there is nothing to reuse); it exists so plans can name it.
-TRANSFORM_KINDS = ("udt", "virtual", "virtual+")
+#: ``prepared`` is not a paper transform: it is a per-algorithm
+#: prepared input graph (symmetrised for CC, weight-stripped for the
+#: unweighted analytics) whose O(|E|) construction is worth amortising
+#: under the same byte budget as the transforms.
+TRANSFORM_KINDS = ("udt", "virtual", "virtual+", "prepared")
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,23 @@ class ArtifactKey:
         dw = dumb_weight.value if kind == "udt" else DumbWeight.NONE.value
         return ArtifactKey(graph.fingerprint(), kind, int(degree_bound), dw)
 
+    @staticmethod
+    def for_prepared(
+        graph: CSRGraph, *, symmetrize: bool, weighted: bool
+    ) -> "ArtifactKey":
+        """Key of a prepared input graph (``kind="prepared"``).
+
+        Preparation has no degree bound or dumb weight; the
+        ``dumb_weight`` slot carries the preparation recipe instead so
+        symmetrised and weight-stripped variants of one graph get
+        distinct entries (and distinct spill files).
+        """
+        recipe = (
+            ("sym" if symmetrize else "dir")
+            + ("-w" if weighted else "-unw")
+        )
+        return ArtifactKey(graph.fingerprint(), "prepared", 0, recipe)
+
     def filename(self) -> str:
         """Filesystem-safe spill file name for this key."""
         kind = self.kind.replace("+", "p")
@@ -78,13 +99,14 @@ class TransformArtifact:
 
     ``payload`` is the library-native object an engine consumes
     directly: a :class:`TransformResult` for ``udt`` keys, a
-    :class:`VirtualGraph` for virtual keys.  ``build_seconds`` records
+    :class:`VirtualGraph` for virtual keys, and a plain
+    :class:`CSRGraph` for ``prepared`` keys.  ``build_seconds`` records
     what the transform cost to construct — it is what every cache hit
     saves, and the catalog aggregates it into ``seconds_saved``.
     """
 
     key: ArtifactKey
-    payload: Union[TransformResult, VirtualGraph]
+    payload: Union[TransformResult, VirtualGraph, CSRGraph]
     build_seconds: float
 
     def nbytes(self) -> int:
@@ -92,9 +114,12 @@ class TransformArtifact:
 
         UDT owns a full transformed CSR plus provenance arrays; a
         virtual overlay shares the physical CSR (never copied, §4) and
-        is charged only for its overlay arrays.  This is the quantity
-        the catalog's byte budget meters.
+        is charged only for its overlay arrays; a prepared graph is
+        charged its full CSR (symmetrisation builds fresh arrays).
+        This is the quantity the catalog's byte budget meters.
         """
+        if isinstance(self.payload, CSRGraph):
+            return int(self.payload.nbytes())
         if isinstance(self.payload, TransformResult):
             return int(
                 self.payload.graph.nbytes()
@@ -135,7 +160,13 @@ class TransformArtifact:
             ),
             "build_seconds": np.asarray([self.build_seconds]),
         }
-        if isinstance(self.payload, TransformResult):
+        if isinstance(self.payload, CSRGraph):
+            payload.update(
+                offsets=self.payload.offsets, targets=self.payload.targets
+            )
+            if self.payload.weights is not None:
+                payload["weights"] = self.payload.weights
+        elif isinstance(self.payload, TransformResult):
             result = self.payload
             stats = result.stats
             payload.update(
@@ -195,7 +226,11 @@ def load_artifact(path: str) -> TransformArtifact:
         )
         build_seconds = float(archive["build_seconds"][0])
         weights = archive["weights"] if "weights" in archive.files else None
-        if kind == "udt":
+        if kind == "prepared":
+            payload: Union[TransformResult, VirtualGraph, CSRGraph] = CSRGraph(
+                archive["offsets"], archive["targets"], weights, validate=False
+            )
+        elif kind == "udt":
             scalars = archive["scalars"]
             graph = CSRGraph(
                 archive["offsets"], archive["targets"], weights, validate=False
@@ -208,7 +243,7 @@ def load_artifact(path: str) -> TransformArtifact:
                 max_degree_after=int(scalars[5]),
                 max_family_hops=int(scalars[6]),
             )
-            payload: Union[TransformResult, VirtualGraph] = TransformResult(
+            payload = TransformResult(
                 graph=graph,
                 node_origin=np.ascontiguousarray(archive["node_origin"], NODE_DTYPE),
                 new_edge_mask=np.ascontiguousarray(archive["new_edge_mask"], bool),
@@ -262,5 +297,5 @@ def _rebuild_virtual(
     return virtual
 
 
-_KIND_CODES = {"udt": 0, "virtual": 1, "virtual+": 2}
+_KIND_CODES = {"udt": 0, "virtual": 1, "virtual+": 2, "prepared": 3}
 _KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}

@@ -8,22 +8,29 @@ root).  The batcher exploits that shape:
   engine options) coalesce into one :class:`QueryBatch`;
 * sources are merged and **deduplicated** across the batch — two
   users asking for the same root pay for one traversal;
-* the batch executes through the multi-source fan-out helpers
+* the batch executes through the lane-parallel multi-source helpers
   (:mod:`repro.algorithms.multi_source`) on a *single* resolved
-  transform artifact, so the per-request cost is one engine run, never
-  one transform;
+  transform artifact: an entire batch of bfs/sssp sources collapses
+  into **one** lane-parallel traversal (per block of
+  :data:`~repro.algorithms.multi_source.DEFAULT_MAX_LANES` sources)
+  whose distance matrix is sliced back per request;
 * sourceless analytics (CC/PR) collapse even harder: the whole batch
   is one engine run whose result every member shares.
+
+:func:`run_batch_on_target` reports how much engine work actually ran
+as a :class:`BatchExecution`, which the executor feeds to
+``ServiceMetrics`` (``lanes_per_traversal``, ``traversals_saved``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.algorithms.multi_source import multi_source_distances
+from repro.algorithms.multi_source import DEFAULT_MAX_LANES, multi_source_distances
 from repro.baselines._run import run_algorithm
 from repro.baselines.base import ALGORITHMS
 from repro.engine.push import EngineOptions
@@ -104,17 +111,34 @@ def group_requests(
     return list(batches.values())
 
 
+@dataclass(frozen=True)
+class BatchExecution:
+    """Engine work one batch actually launched.
+
+    ``traversals`` counts engine passes; ``lanes`` the per-source
+    lanes those passes carried in total; ``traversals_saved`` the
+    scalar passes lane batching avoided (``lanes - traversals`` when
+    the lane engine ran, 0 for per-source fallbacks).
+    """
+
+    traversals: int
+    lanes: int
+    traversals_saved: int
+
+
 def run_batch_on_target(
     batch: QueryBatch, target
-) -> Dict[int, Dict[int, np.ndarray]]:
+) -> Tuple[Dict[int, Dict[int, np.ndarray]], BatchExecution]:
     """Execute a batch on a resolved engine target.
 
     ``target`` is whatever the plan produced: a raw :class:`CSRGraph`,
     a transformed graph, or a :class:`~repro.core.virtual.VirtualGraph`.
-    Returns ``request_id -> (source -> values)``; values are in the
-    *target's* node space (the executor projects physically transformed
-    results back to original ids).  Each unique source is executed
-    exactly once and fanned out to every request that asked for it.
+    Returns ``(request_id -> (source -> values), execution)``; values
+    are in the *target's* node space (the executor projects physically
+    transformed results back to original ids).  Each unique source is
+    executed exactly once and fanned out to every request that asked
+    for it; for bfs/sssp all unique sources of the batch ride **one**
+    lane-parallel traversal per ``DEFAULT_MAX_LANES``-wide block.
     """
     algorithm = batch.algorithm
     per_source: Dict[int, np.ndarray] = {}
@@ -127,15 +151,28 @@ def run_batch_on_target(
             options=batch.options,
         )
         per_source = {source: rows[i] for i, source in enumerate(sources)}
+        num = len(sources)
+        traversals = (
+            math.ceil(num / DEFAULT_MAX_LANES) if num > 1 else num
+        )
+        execution = BatchExecution(
+            traversals=traversals, lanes=num,
+            traversals_saved=num - traversals,
+        )
     elif ALGORITHMS[algorithm].needs_source:  # sswp, bc: per-source engine runs
         for source in batch.sources:
             values, _, _ = run_algorithm(
                 target, algorithm, source, batch.options, None
             )
             per_source[source] = values
+        execution = BatchExecution(
+            traversals=len(batch.sources), lanes=len(batch.sources),
+            traversals_saved=0,
+        )
     else:  # cc, pr: one run shared by the whole batch
         values, _, _ = run_algorithm(target, algorithm, None, batch.options, None)
         per_source[-1] = values
+        execution = BatchExecution(traversals=1, lanes=1, traversals_saved=0)
 
     out: Dict[int, Dict[int, np.ndarray]] = {}
     for request in batch.requests:
@@ -143,4 +180,4 @@ def run_batch_on_target(
             out[request.request_id] = {s: per_source[s] for s in request.sources}
         else:
             out[request.request_id] = {-1: per_source[-1]}
-    return out
+    return out, execution

@@ -179,6 +179,23 @@ class GraphCatalog:
         its perspective the artifact was served, not built.
         """
         key = ArtifactKey.for_transform(graph, kind, degree_bound, dumb_weight)
+        return self.get_for_key(
+            key, builder or (lambda: self._build(graph, key))
+        )
+
+    def get_for_key(
+        self,
+        key: ArtifactKey,
+        builder: Callable[[], TransformArtifact],
+    ) -> "tuple[TransformArtifact, str]":
+        """Key-addressed single-flight lookup-or-build.
+
+        The primitive behind :meth:`get_or_build_with_origin`, exposed
+        for artifact kinds whose key is not a plain transform key —
+        prepared graphs (``ArtifactKey.for_prepared``) share the byte
+        budget, eviction order, disk tier, and build accounting with
+        the transforms through this path.
+        """
         found, origin = self._lookup(key)
         if found is not None:
             return found, origin
@@ -188,7 +205,7 @@ class GraphCatalog:
             found, origin = self._lookup(key, recount=False)
             if found is not None:
                 return found, origin
-            artifact = (builder or (lambda: self._build(graph, key)))()
+            artifact = builder()
             with self._lock:
                 self.stats.builds += 1
                 self.stats.seconds_building += artifact.build_seconds
@@ -222,6 +239,11 @@ class GraphCatalog:
         return None, "absent"
 
     def _build(self, graph: CSRGraph, key: ArtifactKey) -> TransformArtifact:
+        if key.kind == "prepared":
+            raise ServiceError(
+                "prepared-graph artifacts have no default builder; pass "
+                "one (the preparation recipe lives with the caller)"
+            )
         start = time.perf_counter()
         if key.kind == "udt":
             payload = udt_transform(

@@ -34,12 +34,13 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.baselines.base import ALGORITHMS, prepare_graph
 from repro.core.types import TransformResult
 from repro.errors import ServiceError, TigrError
 from repro.graph.csr import CSRGraph
+from repro.service.artifacts import ArtifactKey, TransformArtifact
 from repro.service.batching import QueryBatch, group_requests, run_batch_on_target
 from repro.service.catalog import GraphCatalog
 from repro.service.metrics import QueryRecord, ServiceMetrics
@@ -160,8 +161,6 @@ class AnalyticsService:
         self.metrics = ServiceMetrics(self.catalog.stats)
         self.default_timeout_s = default_timeout_s
         self._graphs: Dict[str, CSRGraph] = {}
-        self._prepared: Dict[Tuple[str, bool, bool], CSRGraph] = {}
-        self._prepared_lock = threading.Lock()
         self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(maxsize=queue_size)
         self._stopped = False
         self._workers = [
@@ -390,7 +389,7 @@ class AnalyticsService:
         transform_s = time.perf_counter() - transform_start
 
         execute_start = time.perf_counter()
-        per_request = run_batch_on_target(batch, target)
+        per_request, execution = run_batch_on_target(batch, target)
         execute_s = time.perf_counter() - execute_start
 
         finished_at = time.perf_counter()
@@ -436,25 +435,46 @@ class AnalyticsService:
                     # counters stay interpretable.
                     batched_with=len(tickets) - 1 if index == 0 else 0,
                     sources_deduped=batch.sources_deduped if index == 0 else 0,
+                    traversals=execution.traversals if index == 0 else 0,
+                    lanes=execution.lanes if index == 0 else 0,
+                    traversals_saved=(
+                        execution.traversals_saved if index == 0 else 0
+                    ),
                 )
             )
 
     def _prepare(self, graph: CSRGraph, algorithm: str) -> CSRGraph:
-        """Per-algorithm graph preparation, cached by content.
+        """Per-algorithm graph preparation, cached through the catalog.
 
         ``prepare_graph`` symmetrises for CC and strips weights for the
         unweighted analytics — O(|E|) work worth amortising across
-        requests just like the transforms themselves.
+        requests just like the transforms themselves.  Prepared graphs
+        live in the :class:`GraphCatalog` as ``kind="prepared"``
+        artifacts, so ONE byte budget governs transforms and prepared
+        graphs and eviction keeps both tiers bounded (ROADMAP
+        "prepared-graph cache bounds").  An input that needs no
+        reshaping is passed through uncached.
         """
         spec = ALGORITHMS[algorithm]
-        key = (graph.fingerprint(), spec.symmetrize, spec.weighted)
-        with self._prepared_lock:
-            prepared = self._prepared.get(key)
-        if prepared is None:
+        changes_graph = spec.symmetrize or (
+            not spec.weighted and graph.weights is not None
+        )
+        if not changes_graph:
+            return prepare_graph(graph, algorithm)
+        key = ArtifactKey.for_prepared(
+            graph, symmetrize=spec.symmetrize, weighted=spec.weighted
+        )
+
+        def build() -> TransformArtifact:
+            start = time.perf_counter()
             prepared = prepare_graph(graph, algorithm)
-            with self._prepared_lock:
-                prepared = self._prepared.setdefault(key, prepared)
-        return prepared
+            return TransformArtifact(
+                key=key, payload=prepared,
+                build_seconds=time.perf_counter() - start,
+            )
+
+        artifact, _ = self.catalog.get_for_key(key, build)
+        return artifact.payload
 
     def _fail(
         self,

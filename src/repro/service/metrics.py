@@ -44,6 +44,12 @@ class QueryRecord:
     failed: bool
     batched_with: int = 0
     sources_deduped: int = 0
+    #: engine passes the batch launched (attributed once per batch).
+    traversals: int = 0
+    #: per-source lanes those passes carried in total.
+    lanes: int = 0
+    #: scalar passes avoided by lane-parallel batching.
+    traversals_saved: int = 0
 
 
 class ServiceMetrics:
@@ -61,6 +67,9 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.batches_merged = 0
         self.sources_deduped = 0
+        self.traversals_total = 0
+        self.lanes_total = 0
+        self.traversals_saved = 0
         #: high-water mark of the submission queue.
         self.max_queue_depth = 0
         self._queue_depth = 0
@@ -78,6 +87,9 @@ class ServiceMetrics:
             self.cache_hits += int(record.cache_hit)
             self.batches_merged += record.batched_with
             self.sources_deduped += record.sources_deduped
+            self.traversals_total += record.traversals
+            self.lanes_total += record.lanes
+            self.traversals_saved += record.traversals_saved
             for stage, seconds in record.stage_seconds.items():
                 if stage in self._stage_samples:
                     self._stage_samples[stage].append(seconds)
@@ -141,6 +153,13 @@ class ServiceMetrics:
                 ),
                 "batches_merged": self.batches_merged,
                 "sources_deduped": self.sources_deduped,
+                # the batching win: mean lane occupancy per engine
+                # pass, and how many scalar passes lanes replaced.
+                "lanes_per_traversal": (
+                    self.lanes_total / self.traversals_total
+                    if self.traversals_total else 0.0
+                ),
+                "traversals_saved": self.traversals_saved,
                 "queue_depth": self._queue_depth,
                 "max_queue_depth": self.max_queue_depth,
             }

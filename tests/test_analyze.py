@@ -146,6 +146,40 @@ class TestProgramChecker:
         assert "SPLIT005" in ids
         assert "SPLIT002" not in ids and "SPLIT003" not in ids
 
+    def test_lane_safety_drift_double_count(self, tmp_path):
+        """An sssp program flipped to ADD: the code implies
+        lane_safe=False, the table certifies True — SPLIT006 warns the
+        union frontier would double-count."""
+        path = write_fixture(tmp_path, "add_sssp.py", PROGRAM_HEADER + """\
+    class AddSSSP(PushProgram):
+        name = "sssp"
+        reduce = ReduceOp.ADD
+
+        def relax(self, src_values, edge_weights):
+            return src_values + edge_weights
+    """)
+        report = analyze_paths([path])
+        split006 = findings_for(report, "SPLIT006")
+        assert len(split006) == 1
+        assert "lane_safe=False" in split006[0].message
+        assert "double-count" in split006[0].message
+
+    def test_lane_safety_drift_needless_refusal(self, tmp_path):
+        """The mirror drift: a pagerank program with an idempotent
+        reduce looks lane-safe, but the table certifies it is not."""
+        path = write_fixture(tmp_path, "min_pr.py", PROGRAM_HEADER + """\
+    class MinRank(PushProgram):
+        name = "pagerank"
+        reduce = ReduceOp.MIN
+
+        def relax(self, src_values, edge_weights):
+            return src_values.copy()
+    """)
+        report = analyze_paths([path])
+        split006 = findings_for(report, "SPLIT006")
+        assert len(split006) == 1
+        assert "needlessly refused" in split006[0].message
+
     def test_unknown_program_name(self, tmp_path):
         path = write_fixture(tmp_path, "unknown.py", PROGRAM_HEADER + """\
     class Mystery(PushProgram):

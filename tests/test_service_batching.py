@@ -112,7 +112,7 @@ class TestFanOutEquivalence:
         target = virtual_transform(graph, 10, coalesced=True)
         requests = [QueryRequest.single("sssp", "g", s) for s in (3, 7, 3, 12)]
         (batch,) = group_requests(requests, resolve_with(graph))
-        out = run_batch_on_target(batch, target)
+        out, _ = run_batch_on_target(batch, target)
         for request in requests:
             (source,) = request.sources
             expected = sssp(target, source).values
@@ -125,7 +125,7 @@ class TestFanOutEquivalence:
         target = virtual_transform(unweighted, 10, coalesced=True)
         requests = [QueryRequest.single("bfs", "g", s) for s in (0, 5, 9)]
         (batch,) = group_requests(requests, resolve_with(unweighted))
-        out = run_batch_on_target(batch, target)
+        out, _ = run_batch_on_target(batch, target)
         for request in requests:
             (source,) = request.sources
             np.testing.assert_array_equal(
@@ -136,7 +136,7 @@ class TestFanOutEquivalence:
         target = virtual_transform(graph, 10, coalesced=True)
         requests = [QueryRequest.single("sswp", "g", s) for s in (1, 4)]
         (batch,) = group_requests(requests, resolve_with(graph))
-        out = run_batch_on_target(batch, target)
+        out, _ = run_batch_on_target(batch, target)
         for request in requests:
             (source,) = request.sources
             np.testing.assert_array_equal(
@@ -148,7 +148,7 @@ class TestFanOutEquivalence:
         target = virtual_transform(unweighted, 10, coalesced=True)
         requests = [QueryRequest("pr", "g"), QueryRequest("pr", "g")]
         (batch,) = group_requests(requests, resolve_with(unweighted))
-        out = run_batch_on_target(batch, target)
+        out, _ = run_batch_on_target(batch, target)
         expected = pagerank(target).values
         first, second = (out[r.request_id][-1] for r in requests)
         np.testing.assert_allclose(first, expected)
@@ -159,7 +159,7 @@ class TestFanOutEquivalence:
         requests = [QueryRequest.single("sssp", "g", 6) for _ in range(3)]
         (batch,) = group_requests(requests, resolve_with(graph))
         assert batch.sources == (6,)
-        out = run_batch_on_target(batch, target)
+        out, _ = run_batch_on_target(batch, target)
         rows = [out[r.request_id][6] for r in requests]
         assert rows[0] is rows[1] is rows[2]
 
