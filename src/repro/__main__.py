@@ -181,7 +181,9 @@ def cmd_query(args) -> int:
     graph = _load(args.graph, scale=args.scale)
     sources = _parse_sources(args, graph)
     catalog = GraphCatalog(spill_dir=args.spill_dir)
-    with AnalyticsService(catalog, workers=args.workers) as service:
+    with AnalyticsService(
+        catalog, workers=args.workers, backend=args.backend
+    ) as service:
         service.register(args.graph, graph)
         for round_no in range(args.repeat):
             requests = (
@@ -249,8 +251,8 @@ def cmd_serve(args) -> int:
     )
     start = time.perf_counter()
     with AnalyticsService(
-        catalog, workers=args.workers, queue_size=args.queue_size,
-        default_timeout_s=args.timeout,
+        catalog, workers=args.workers, backend=args.backend,
+        queue_size=args.queue_size, default_timeout_s=args.timeout,
     ) as service:
         service.register(args.graph, graph)
         n = graph.num_nodes
@@ -331,8 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1,
                    help="submit the query N times (shows warm-cache hits)")
     p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--backend", choices=("threads", "processes"), default=None,
+                   help="execution backend (default: $REPRO_SERVICE_WORKERS "
+                        "or threads; see docs/operations.md)")
     p.add_argument("--spill-dir", default=None,
-                   help="directory for evicted-artifact .npz spill")
+                   help="directory for evicted-artifact .npz spill "
+                        "(with --backend processes, also the tier worker "
+                        "processes hydrate from)")
     p.add_argument("--stats", action="store_true",
                    help="print service metrics after the run")
     p.add_argument("--scale", type=float, default=1.0)
@@ -348,6 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithms", default="bfs,sssp,pr",
                    help="comma-separated analytics to sample from")
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--backend", choices=("threads", "processes"), default=None,
+                   help="execution backend (default: $REPRO_SERVICE_WORKERS "
+                        "or threads; see docs/operations.md)")
     p.add_argument("--queue-size", type=int, default=128)
     p.add_argument("--batch", type=int, default=16,
                    help="submission batch size (same-graph coalescing window)")

@@ -31,6 +31,7 @@ from repro.bench import (
     multisource_lanes,
     optimization_grid,
     reordering_comparison,
+    service_backend_sweep,
     service_throughput,
     skew_sweep,
     speedup_scaling,
@@ -70,6 +71,7 @@ EXPERIMENTS = {
     "multigpu": lambda scale: multigpu_orthogonality(scale=scale),
     "devices": lambda scale: device_generation_sweep(scale=scale),
     "service": lambda scale: service_throughput(scale=scale),
+    "service-backends": lambda scale: service_backend_sweep(scale=scale),
     "multisource": lambda scale: multisource_lanes(scale=scale),
 }
 

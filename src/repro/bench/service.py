@@ -20,7 +20,9 @@ service.  Three phases over one dataset stand-in:
 
 from __future__ import annotations
 
+import os
 import random
+import threading
 import time
 from typing import List
 
@@ -134,6 +136,108 @@ def service_throughput(
     cold_qps = report.rows[0]["qps"]
     report.extras["warm_single_speedup"] = report.rows[1]["qps"] / cold_qps
     report.extras["warm_batched_speedup"] = report.rows[2]["qps"] / cold_qps
+    return report
+
+
+def service_backend_sweep(
+    scale: float = 1.0,
+    *,
+    dataset: str = "pokec",
+    num_queries: int = 48,
+    workers_list: List[int] = (1, 2, 4),
+    clients: int = 4,
+    algorithms: List[str] = ("bfs", "sssp"),
+    transform: str = "udt",
+    seed: int = 7,
+) -> ExperimentReport:
+    """Threads vs processes on a warm multi-client workload.
+
+    One row per ``(backend, workers)`` cell: ``clients`` concurrent
+    client threads drain ``num_queries`` warm-cache queries through a
+    shared service.  Warm is the honest comparison — a cold sweep
+    measures transform construction (identical work on both backends),
+    not execution concurrency.  The process rows additionally pay
+    graph export, spec/reply pickling, and result IPC; whether that
+    overhead is bought back depends on hardware parallelism, so the
+    report records ``cpu_count`` and per-``workers`` speedup ratios in
+    ``extras`` and leaves the verdict to the caller (the benchmark
+    asserts processes win at >= 4 workers only on multi-core hosts;
+    see ``docs/operations.md``).
+    """
+    report = ExperimentReport(
+        "Service backend sweep",
+        f"{num_queries} warm {transform} queries on {dataset}, "
+        f"{clients} client threads, backends threads/processes, "
+        f"workers {'/'.join(str(w) for w in workers_list)}",
+    )
+    graph = load_dataset(dataset, scale=scale)
+    algorithms = list(algorithms)
+    requests = _make_requests(
+        dataset, graph.num_nodes, num_queries, algorithms, seed, transform
+    )
+    qps: dict = {}
+    for backend in ("threads", "processes"):
+        for workers in workers_list:
+            with AnalyticsService(
+                GraphCatalog(), workers=workers, backend=backend,
+                queue_size=max(128, num_queries),
+            ) as service:
+                service.register(dataset, graph)
+                for algorithm in algorithms:  # warm one artifact each
+                    warmup = _make_requests(
+                        dataset, graph.num_nodes, 1, [algorithm], 0, transform
+                    )[0]
+                    assert service.run(warmup).ok
+                if backend == "processes":
+                    # every worker must have hydrated before timing:
+                    # run one query per worker so no timed request
+                    # pays a worker's first graph/artifact load
+                    for _ in range(workers):
+                        assert service.run(requests[0]).ok
+
+                latencies: List[float] = []
+                lock = threading.Lock()
+
+                def client(shard: List[QueryRequest]) -> None:
+                    mine = []
+                    for request in shard:
+                        t0 = time.perf_counter()
+                        result = service.run(request)
+                        mine.append(time.perf_counter() - t0)
+                        assert result.ok
+                    with lock:
+                        latencies.extend(mine)
+
+                shards = [requests[i::clients] for i in range(clients)]
+                threads = [
+                    threading.Thread(target=client, args=(shard,))
+                    for shard in shards if shard
+                ]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - start
+                qps[(backend, workers)] = num_queries / elapsed
+                from repro.service import percentile
+
+                report.add_row(
+                    backend=backend,
+                    workers=workers,
+                    queries=num_queries,
+                    seconds=elapsed,
+                    qps=qps[(backend, workers)],
+                    p50_ms=percentile(latencies, 0.5) * 1e3,
+                    p95_ms=percentile(latencies, 0.95) * 1e3,
+                    cache_hit_rate=service.metrics.cache_hit_rate,
+                    ipc_mb=service.metrics.summary()["ipc_bytes"] / 1e6,
+                )
+    report.extras["cpu_count"] = os.cpu_count() or 1
+    for workers in workers_list:
+        report.extras[f"processes_vs_threads_x{workers}"] = (
+            qps[("processes", workers)] / qps[("threads", workers)]
+        )
     return report
 
 

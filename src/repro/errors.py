@@ -70,6 +70,25 @@ class ServiceError(TigrError):
     """
 
 
+class WorkerLost(ServiceError):
+    """A process-pool worker died or stopped responding mid-batch.
+
+    Raised inside the serving layer's process backend when the pool
+    reports a broken worker (crash, OOM kill) or a dispatched batch
+    exceeds its wait budget.  The executor catches it and *degrades*:
+    the batch is retried once in the submitting thread, and only if
+    that also fails do the affected tickets resolve with this error's
+    message.  Subclasses :class:`ServiceError` so existing blanket
+    handlers keep working.
+    """
+
+    def __init__(self, reason: str, *, batch_size: int = 0) -> None:
+        self.reason = reason
+        self.batch_size = int(batch_size)
+        detail = f" ({batch_size} request(s) affected)" if batch_size else ""
+        super().__init__(f"worker lost: {reason}{detail}")
+
+
 class SplitSafetyError(ServiceError):
     """A split transform was requested for a split-unsafe analytic.
 

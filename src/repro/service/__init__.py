@@ -12,8 +12,11 @@ graph library's value is its reusable runtime, not its kernels alone):
   :class:`QueryResult` envelopes, a planner built on
   :mod:`repro.core.selection` and :mod:`repro.core.applicability`,
   same-graph request batching with source dedup, and a bounded-queue
-  thread pool with backpressure, per-request timeouts with graceful
-  degradation, and cancellation;
+  dispatcher pool with backpressure, per-request timeouts with
+  graceful degradation, and cancellation.  Two execution backends:
+  in-process threads (default) or a ``ProcessPoolExecutor`` whose
+  workers hydrate graphs and artifacts from a shared disk tier
+  (``backend="processes"``, :mod:`repro.service.workers`);
 * :class:`ServiceMetrics` — cache hit rate, queue depth, and
   per-stage latency percentiles in the same reporting style as
   :mod:`repro.gpu.metrics`.
@@ -22,17 +25,28 @@ CLI: ``python -m repro query`` (one-shot) and ``python -m repro
 serve`` (synthetic concurrent workload driver).
 """
 
+from repro.errors import WorkerLost
 from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
 from repro.service.batching import QueryBatch, group_requests
 from repro.service.catalog import CatalogStats, GraphCatalog
-from repro.service.executor import AnalyticsService, QueryTicket, default_service
+from repro.service.executor import (
+    BACKENDS,
+    AnalyticsService,
+    QueryTicket,
+    default_service,
+    resolve_backend,
+)
 from repro.service.metrics import QueryRecord, ServiceMetrics, percentile
 from repro.service.planner import QueryPlan, estimate_build_seconds, plan_query
 from repro.service.query import QueryRequest, QueryResult, StageTimings
+from repro.service.workers import BatchOutcome, BatchSpec, execute_pipeline
 
 __all__ = [
     "AnalyticsService",
     "ArtifactKey",
+    "BACKENDS",
+    "BatchOutcome",
+    "BatchSpec",
     "CatalogStats",
     "GraphCatalog",
     "QueryBatch",
@@ -44,10 +58,13 @@ __all__ = [
     "ServiceMetrics",
     "StageTimings",
     "TransformArtifact",
+    "WorkerLost",
     "default_service",
     "estimate_build_seconds",
+    "execute_pipeline",
     "group_requests",
     "load_artifact",
     "percentile",
     "plan_query",
+    "resolve_backend",
 ]

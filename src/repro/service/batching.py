@@ -126,29 +126,31 @@ class BatchExecution:
     traversals_saved: int
 
 
-def run_batch_on_target(
-    batch: QueryBatch, target
-) -> Tuple[Dict[int, Dict[int, np.ndarray]], BatchExecution]:
-    """Execute a batch on a resolved engine target.
+def run_sources_on_target(
+    algorithm: str,
+    sources: Tuple[int, ...],
+    options: EngineOptions,
+    target,
+) -> Tuple[Dict[int, np.ndarray], BatchExecution]:
+    """Execute one batch's *unique* sources on a resolved engine target.
 
-    ``target`` is whatever the plan produced: a raw :class:`CSRGraph`,
-    a transformed graph, or a :class:`~repro.core.virtual.VirtualGraph`.
-    Returns ``(request_id -> (source -> values), execution)``; values
-    are in the *target's* node space (the executor projects physically
-    transformed results back to original ids).  Each unique source is
-    executed exactly once and fanned out to every request that asked
-    for it; for bfs/sssp all unique sources of the batch ride **one**
-    lane-parallel traversal per ``DEFAULT_MAX_LANES``-wide block.
+    The engine-facing half of batch execution, deliberately free of
+    :class:`QueryRequest` bookkeeping so the whole unit crosses the
+    process-backend IPC boundary as a plain ``(algorithm, sources,
+    options)`` spec — the lane-parallel collapse happens wherever the
+    engine runs, never per forwarded request.  Returns ``(source ->
+    values, execution)`` with values in the *target's* node space;
+    sourceless analytics return the shared array under key ``-1``.
+    For bfs/sssp all sources ride **one** lane-parallel traversal per
+    ``DEFAULT_MAX_LANES``-wide block.
     """
-    algorithm = batch.algorithm
     per_source: Dict[int, np.ndarray] = {}
     if algorithm in _DISTANCE_FANOUT:
-        sources = batch.sources
         rows = multi_source_distances(
             target,
             list(sources),
             weighted=_DISTANCE_FANOUT[algorithm],
-            options=batch.options,
+            options=options,
         )
         per_source = {source: rows[i] for i, source in enumerate(sources)}
         num = len(sources)
@@ -160,24 +162,53 @@ def run_batch_on_target(
             traversals_saved=num - traversals,
         )
     elif ALGORITHMS[algorithm].needs_source:  # sswp, bc: per-source engine runs
-        for source in batch.sources:
-            values, _, _ = run_algorithm(
-                target, algorithm, source, batch.options, None
-            )
+        for source in sources:
+            values, _, _ = run_algorithm(target, algorithm, source, options, None)
             per_source[source] = values
         execution = BatchExecution(
-            traversals=len(batch.sources), lanes=len(batch.sources),
-            traversals_saved=0,
+            traversals=len(sources), lanes=len(sources), traversals_saved=0,
         )
     else:  # cc, pr: one run shared by the whole batch
-        values, _, _ = run_algorithm(target, algorithm, None, batch.options, None)
+        values, _, _ = run_algorithm(target, algorithm, None, options, None)
         per_source[-1] = values
         execution = BatchExecution(traversals=1, lanes=1, traversals_saved=0)
+    return per_source, execution
 
+
+def fan_out_per_request(
+    requests: List[QueryRequest], per_source: Dict[int, np.ndarray]
+) -> Dict[int, Dict[int, np.ndarray]]:
+    """Map deduplicated per-source arrays back onto each request.
+
+    The front-end half of batch execution: each request receives a
+    view of exactly the sources it asked for (or the shared ``-1``
+    array for sourceless analytics).  Rows are shared, not copied —
+    two requests for one root reference one array.
+    """
     out: Dict[int, Dict[int, np.ndarray]] = {}
-    for request in batch.requests:
+    for request in requests:
         if request.sources:
             out[request.request_id] = {s: per_source[s] for s in request.sources}
         else:
             out[request.request_id] = {-1: per_source[-1]}
-    return out, execution
+    return out
+
+
+def run_batch_on_target(
+    batch: QueryBatch, target
+) -> Tuple[Dict[int, Dict[int, np.ndarray]], BatchExecution]:
+    """Execute a batch on a resolved engine target.
+
+    ``target`` is whatever the plan produced: a raw :class:`CSRGraph`,
+    a transformed graph, or a :class:`~repro.core.virtual.VirtualGraph`.
+    Returns ``(request_id -> (source -> values), execution)``; values
+    are in the *target's* node space (the executor projects physically
+    transformed results back to original ids).  Each unique source is
+    executed exactly once (:func:`run_sources_on_target`) and fanned
+    out to every request that asked for it
+    (:func:`fan_out_per_request`).
+    """
+    per_source, execution = run_sources_on_target(
+        batch.algorithm, batch.sources, batch.options, target
+    )
+    return fan_out_per_request(batch.requests, per_source), execution

@@ -23,8 +23,14 @@ import os
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.udt import udt_transform
 from repro.core.virtual import virtual_transform
@@ -93,6 +99,15 @@ class GraphCatalog:
     max_entries:
         Optional cap on entry *count* in the memory tier, applied on
         top of the byte budget (useful in tests; default unlimited).
+    write_through:
+        Persist every freshly *built* artifact to the disk tier
+        immediately instead of only on eviction.  This is what makes
+        the disk tier a process-shared cache: a catalog in one worker
+        process builds once, and sibling processes pointed at the same
+        ``spill_dir`` hydrate the ``.npz`` instead of re-transforming.
+        Content-addressed keys make concurrent writers safe (same key
+        = same bytes); a file lock plus atomic rename keeps them from
+        duplicating work or tearing files.
     """
 
     def __init__(
@@ -101,6 +116,7 @@ class GraphCatalog:
         *,
         spill_dir: Optional[str] = None,
         max_entries: Optional[int] = None,
+        write_through: bool = False,
     ) -> None:
         if memory_budget_bytes < 0:
             raise ServiceError(
@@ -109,6 +125,9 @@ class GraphCatalog:
         self.memory_budget_bytes = int(memory_budget_bytes)
         self.spill_dir = spill_dir
         self.max_entries = max_entries
+        self.write_through = bool(write_through)
+        if write_through and spill_dir is None:
+            raise ServiceError("write_through needs a spill_dir to write to")
         if spill_dir is not None:
             os.makedirs(spill_dir, exist_ok=True)
         self.stats = CatalogStats()
@@ -137,6 +156,21 @@ class GraphCatalog:
         """Memory-tier lookup without touching recency or counters."""
         with self._lock:
             return self._entries.get(key)
+
+    def cached(self, key: ArtifactKey) -> bool:
+        """Whether ``key`` is servable without a build (memory *or* disk).
+
+        A pure probe: no promotion, no counters, no disk load — the
+        disk check is an ``os.path.exists``.  The planner uses this to
+        decide deadline degradation: an artifact sitting in the shared
+        disk tier is nearly free to hydrate, so a tight deadline is no
+        reason to abandon the plan.
+        """
+        with self._lock:
+            if key in self._entries:
+                return True
+        path = self._spill_path(key)
+        return path is not None and os.path.exists(path)
 
     def get_or_build(
         self,
@@ -210,6 +244,8 @@ class GraphCatalog:
                 self.stats.builds += 1
                 self.stats.seconds_building += artifact.build_seconds
             self._insert(key, artifact)
+            if self.write_through:
+                self._spill(key, artifact)
             return artifact, "built"
 
     def _lookup(
@@ -292,9 +328,29 @@ class GraphCatalog:
         if path is None:
             return
         if not os.path.exists(path):
-            artifact.save_npz(path)
+            # The disk tier may be shared across processes (the
+            # executor's process backend points every worker at one
+            # directory).  An advisory file lock serialises writers so
+            # the same artifact is serialised once, not N times; the
+            # re-check under the lock is what makes the "once" true.
+            # Readers never take the lock — `save_npz` publishes via
+            # atomic rename, so a concurrent load sees either nothing
+            # or a complete archive.
+            with _spill_write_lock(path):
+                if not os.path.exists(path):
+                    artifact.save_npz(path)
         with self._lock:
             self.stats.spills += 1
+
+    def hydrate(self, key: ArtifactKey) -> Optional[TransformArtifact]:
+        """Load ``key`` from the disk tier into memory, if spilled.
+
+        Public face of the disk tier for process workers warming up:
+        returns the promoted artifact (counted as a disk hit) or
+        ``None`` when the tier has nothing for the key.
+        """
+        found, origin = self._lookup(key)
+        return found if origin in ("memory", "disk") else None
 
     def _load_spilled(self, key: ArtifactKey) -> Optional[TransformArtifact]:
         path = self._spill_path(key)
@@ -336,3 +392,24 @@ class GraphCatalog:
             f"bytes={bytes_in_memory}/{self.memory_budget_bytes}, "
             f"hit_rate={hit_rate:.2f})"
         )
+
+
+@contextmanager
+def _spill_write_lock(path: str):
+    """Advisory cross-process lock for one spill file's writers.
+
+    Lives beside the spill file as ``<name>.lock`` (the spill file
+    itself cannot be locked — it is replaced by rename, which would
+    orphan the lock).  Downgrades to a no-op where ``fcntl`` is
+    unavailable; the atomic-rename write path keeps that safe, merely
+    allowing duplicate serialisation work.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    with open(path + ".lock", "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)

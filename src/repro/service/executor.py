@@ -1,12 +1,30 @@
 """AnalyticsService: concurrent, cache-backed query execution.
 
-The service owns a bounded submission queue and a thread pool of
-workers.  The full pipeline per work item is::
+The service owns a bounded submission queue, a pool of dispatcher
+threads, and an execution backend.  The full pipeline per work item
+is::
 
     submit -> [bounded queue] -> plan -> resolve artifact -> execute
                                   |            |
                         degradation on    GraphCatalog
                         tight deadlines   (LRU + spill)
+
+Two backends execute that pipeline (``backend=``, or the
+``REPRO_SERVICE_WORKERS`` environment variable):
+
+* ``"threads"`` (default) — the pipeline runs in the dispatcher
+  threads against the service's own catalog.  numpy releases the GIL
+  often enough for useful overlap, and nothing is serialised or
+  copied.
+* ``"processes"`` — each dispatcher forwards its batch to a
+  ``ProcessPoolExecutor`` worker as a picklable
+  :class:`~repro.service.workers.BatchSpec`; workers hydrate graphs
+  and artifacts from a shared ``.npz`` disk tier and reply with
+  compact per-source arrays (:mod:`repro.service.workers`).  Heavy
+  concurrent traffic scales past the GIL at the price of IPC.  A
+  crashed or unresponsive worker degrades typed
+  (:class:`~repro.errors.WorkerLost`): the batch is retried once in
+  the dispatcher thread, and only a second failure reaches callers.
 
 Design points, each of which the tests pin down:
 
@@ -15,7 +33,9 @@ Design points, each of which the tests pin down:
   instead of buffering without limit;
 * **batching** — :meth:`submit_batch` coalesces same-graph requests
   into one plan + one artifact resolution + one deduplicated source
-  fan-out (see :mod:`repro.service.batching`);
+  fan-out (see :mod:`repro.service.batching`); a batch crosses the
+  process boundary *intact*, so lane-parallel traversals still
+  collapse;
 * **timeouts** — a request still queued past its deadline fails fast;
   a cold-cache request whose remaining deadline cannot fund the
   transform build degrades to the untransformed CSR (correct answer,
@@ -24,28 +44,68 @@ Design points, each of which the tests pin down:
   worker claims it; cancellation after claiming is refused (results
   are about to exist);
 * **single-flight transforms** — concurrent cold queries for one
-  artifact build it once (catalog build locks), everyone else waits
-  and then hits.
+  artifact build it once (catalog build locks per process; the shared
+  write-through disk tier keeps cross-process duplication to at most
+  one build per worker), everyone else waits and then hits.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import multiprocessing
+import os
 import queue
+import shutil
+import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
-from repro.baselines.base import ALGORITHMS, prepare_graph
-from repro.core.types import TransformResult
-from repro.errors import ServiceError, TigrError
+from repro.errors import ServiceError, TigrError, WorkerLost
 from repro.graph.csr import CSRGraph
-from repro.service.artifacts import ArtifactKey, TransformArtifact
-from repro.service.batching import QueryBatch, group_requests, run_batch_on_target
+from repro.service.batching import QueryBatch, fan_out_per_request, group_requests
 from repro.service.catalog import GraphCatalog
 from repro.service.metrics import QueryRecord, ServiceMetrics
-from repro.service.planner import degrade_for_deadline, plan_query
 from repro.service.query import QueryRequest, QueryResult, StageTimings
+from repro.service.workers import (
+    BatchOutcome,
+    BatchSpec,
+    execute_pipeline,
+    export_graph,
+    graph_store_path,
+    prepare_for_algorithm,
+    run_batch_spec,
+    spec_nbytes,
+    worker_init,
+    worker_ping,
+)
+
+#: recognised execution backends.
+BACKENDS = ("threads", "processes")
+
+#: environment variable naming the default backend (CI runs the
+#: service suite under both values; an explicit ``backend=`` wins).
+BACKEND_ENV = "REPRO_SERVICE_WORKERS"
+
+#: environment variable naming the multiprocessing start method for
+#: the process backend (``fork``/``spawn``/``forkserver``).
+MP_CONTEXT_ENV = "REPRO_SERVICE_MP_CONTEXT"
+
+#: extra seconds past the tightest member deadline the front-end
+#: waits on a process worker before declaring it lost.
+WORKER_GRACE_S = 30.0
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Explicit argument, else ``REPRO_SERVICE_WORKERS``, else threads."""
+    value = backend or os.environ.get(BACKEND_ENV) or "threads"
+    if value not in BACKENDS:
+        raise ServiceError(
+            f"unknown worker backend {value!r}; known: {', '.join(BACKENDS)}"
+        )
+    return value
 
 
 class QueryTicket:
@@ -126,6 +186,159 @@ class _WorkItem:
     enqueued_at: float = field(default_factory=time.perf_counter)
 
 
+class _ProcessBackend:
+    """Owns the ``ProcessPoolExecutor`` and its crash/timeout recovery.
+
+    Dispatcher threads call :meth:`run` concurrently; submission to a
+    ``ProcessPoolExecutor`` is thread-safe, so the only state this
+    class guards is the pool handle itself, which is swapped out when
+    a broken pool must be replaced.  A lost worker is reported as a
+    typed :class:`WorkerLost`; the *executor* decides what degradation
+    means (inline retry), keeping policy out of the plumbing.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        artifacts_dir: str,
+        graphs_dir: str,
+        memory_budget_bytes: int,
+        mp_context: Optional[str],
+        metrics: ServiceMetrics,
+    ) -> None:
+        self.workers = workers
+        self.artifacts_dir = artifacts_dir
+        self.graphs_dir = graphs_dir
+        self.memory_budget_bytes = memory_budget_bytes
+        self.metrics = metrics
+        context = mp_context or os.environ.get(MP_CONTEXT_ENV)
+        if context is None:
+            # fork reuses the parent's imported interpreter (~ms);
+            # spawn boots a fresh one per worker (~s).  The pool is
+            # created before any dispatcher thread starts, which keeps
+            # the initial fork single-threaded.
+            context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        if context not in multiprocessing.get_all_start_methods():
+            raise ServiceError(
+                f"multiprocessing start method {context!r} unavailable "
+                f"here; known: {multiprocessing.get_all_start_methods()}"
+            )
+        self.mp_context = context
+        os.makedirs(artifacts_dir, exist_ok=True)
+        os.makedirs(graphs_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._exported: set = set()
+        with self._lock:
+            self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = (
+                self._make_pool()
+            )
+        self._warm_up()
+
+    def _make_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(self.mp_context),
+            initializer=worker_init,
+            initargs=(self.artifacts_dir, self.memory_budget_bytes),
+        )
+
+    def _warm_up(self) -> None:
+        """Start every worker now and fail fast if the pool cannot boot.
+
+        Submitting ``workers`` pings forces the lazy pool to spawn its
+        full complement before queries arrive, so the first real batch
+        never pays (or half-pays) worker start-up, and a broken
+        initializer surfaces here as a typed error instead of failing
+        the first unlucky query.
+        """
+        with self._lock:
+            pool = self._pool
+        assert pool is not None
+        try:
+            futures = [pool.submit(worker_ping) for _ in range(self.workers)]
+            for future in futures:
+                future.result(timeout=120)
+        except (BrokenProcessPool, concurrent.futures.TimeoutError) as exc:
+            raise ServiceError(
+                f"process workers failed to start: {exc!r}"
+            ) from exc
+
+    def export(self, graph: CSRGraph) -> str:
+        """Publish ``graph`` to the shared store (once per fingerprint)."""
+        fingerprint = graph.fingerprint()
+        with self._lock:
+            known = fingerprint in self._exported
+        path = graph_store_path(self.graphs_dir, fingerprint)
+        if known and os.path.exists(path):
+            return path
+        path = export_graph(graph, self.graphs_dir)
+        with self._lock:
+            self._exported.add(fingerprint)
+        return path
+
+    def run(self, spec: BatchSpec, wait_timeout: Optional[float]) -> "BatchOutcome":
+        """Execute a spec on some worker; raises :class:`WorkerLost`.
+
+        ``wait_timeout`` bounds how long the dispatcher waits for the
+        reply (``None`` waits forever — chosen only when no member of
+        the batch carries a deadline).  On a broken pool the pool is
+        replaced *before* raising, so the next batch meets a healthy
+        backend.
+        """
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            raise WorkerLost("backend is shut down", batch_size=len(spec.sources))
+        try:
+            future = pool.submit(run_batch_spec, spec)
+        except RuntimeError as exc:  # broken or concurrently shut down
+            self._replace_pool(pool)
+            raise WorkerLost(
+                f"pool rejected submission: {exc}", batch_size=len(spec.sources)
+            ) from exc
+        try:
+            reply = future.result(wait_timeout)
+        except BrokenProcessPool as exc:
+            self._replace_pool(pool)
+            raise WorkerLost(
+                "worker process died mid-batch", batch_size=len(spec.sources)
+            ) from exc
+        except concurrent.futures.TimeoutError as exc:
+            # The worker may be wedged, not dead; the pool cannot
+            # cancel a running task, so replace it wholesale.
+            future.cancel()
+            self._replace_pool(pool)
+            raise WorkerLost(
+                f"no reply within {wait_timeout:.1f}s wait budget",
+                batch_size=len(spec.sources),
+            ) from exc
+        if reply.error is not None:
+            raise ServiceError(reply.error)
+        self.metrics.ipc_observed(spec_nbytes(spec) + reply.nbytes())
+        assert reply.outcome is not None
+        return reply.outcome
+
+    def _replace_pool(self, broken) -> None:
+        """Swap in a fresh pool if ``broken`` is still the current one."""
+        with self._lock:
+            if self._pool is not broken:
+                return  # another dispatcher already replaced it
+            self._pool = self._make_pool()
+        self.metrics.worker_restarted()
+        broken.shutdown(wait=False)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
 class AnalyticsService:
     """The serving layer: graphs in, concurrent analytics out.
 
@@ -133,16 +346,34 @@ class AnalyticsService:
     ----------
     catalog:
         Shared transform-artifact cache; a private 256 MiB in-memory
-        catalog is created when omitted.
+        catalog is created when omitted.  With ``backend="processes"``
+        the catalog's ``spill_dir`` (when set) becomes the shared disk
+        tier every worker process hydrates from — point it at a
+        persistent directory and worker cold starts skip transform
+        work entirely.
     workers:
-        Worker thread count.  The engines are numpy-heavy, so threads
-        overlap usefully despite the GIL (a process pool is an open
-        roadmap item).
+        Worker count: dispatcher threads for the thread backend, and
+        additionally process-pool size for the process backend.
+    backend:
+        ``"threads"`` or ``"processes"``; ``None`` reads the
+        ``REPRO_SERVICE_WORKERS`` environment variable and falls back
+        to threads.  See the module docstring and
+        ``docs/operations.md`` for how to choose.
     queue_size:
         Bound of the submission queue — the backpressure knob.
     default_timeout_s:
         Applied to requests that specify no timeout (``None`` = no
         deadline).
+    mp_context:
+        Multiprocessing start method for the process backend
+        (default: ``fork`` where available, else ``spawn``;
+        overridable via ``REPRO_SERVICE_MP_CONTEXT``).
+    process_fallback:
+        Whether a batch whose worker process is lost is retried once
+        in the dispatcher thread (``degraded=True`` on its results)
+        instead of failing with the :class:`WorkerLost` message.
+        Defaults to on; tests switch it off to observe the typed
+        failure.
     """
 
     def __init__(
@@ -150,19 +381,42 @@ class AnalyticsService:
         catalog: Optional[GraphCatalog] = None,
         *,
         workers: int = 2,
+        backend: Optional[str] = None,
         queue_size: int = 64,
         default_timeout_s: Optional[float] = None,
+        mp_context: Optional[str] = None,
+        process_fallback: bool = True,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
         if queue_size < 1:
             raise ServiceError(f"queue size must be >= 1, got {queue_size}")
         self.catalog = catalog if catalog is not None else GraphCatalog()
-        self.metrics = ServiceMetrics(self.catalog.stats)
+        self.backend = resolve_backend(backend)
+        self.metrics = ServiceMetrics(self.catalog.stats, backend=self.backend)
         self.default_timeout_s = default_timeout_s
+        self.process_fallback = bool(process_fallback)
         self._graphs: Dict[str, CSRGraph] = {}
         self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(maxsize=queue_size)
         self._stopped = False
+        self._shared_tmp: Optional[str] = None
+        self._process: Optional[_ProcessBackend] = None
+        if self.backend == "processes":
+            # Shared state root: reuse the catalog's disk tier when it
+            # has one (workers then hydrate artifacts the front-end or
+            # earlier runs already spilled); otherwise a temp dir that
+            # lives exactly as long as the service.
+            root = self.catalog.spill_dir
+            if root is None:
+                root = self._shared_tmp = tempfile.mkdtemp(prefix="repro-serve-")
+            self._process = _ProcessBackend(
+                workers=workers,
+                artifacts_dir=root,
+                graphs_dir=os.path.join(root, "graphs"),
+                memory_budget_bytes=self.catalog.memory_budget_bytes,
+                mp_context=mp_context,
+                metrics=self.metrics,
+            )
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"repro-serve-{i}", daemon=True)
             for i in range(workers)
@@ -285,6 +539,14 @@ class AnalyticsService:
         if wait:
             for thread in self._workers:
                 thread.join()
+            # Only a waited close tears the backend down: dispatchers
+            # are done, so no future can reach the pool or the shared
+            # directory afterwards.  A wait=False close leaves both to
+            # die with the (daemonised) interpreter.
+            if self._process is not None:
+                self._process.close()
+            if self._shared_tmp is not None:
+                shutil.rmtree(self._shared_tmp, ignore_errors=True)
 
     def __enter__(self) -> "AnalyticsService":
         return self
@@ -302,11 +564,11 @@ class AnalyticsService:
             if item is None:
                 return
             try:
-                self._process(item)
+                self._handle_item(item)
             finally:
                 self._queue.task_done()
 
-    def _process(self, item: _WorkItem) -> None:
+    def _handle_item(self, item: _WorkItem) -> None:
         dequeued_at = time.perf_counter()
         queue_s = dequeued_at - item.enqueued_at
 
@@ -355,65 +617,42 @@ class AnalyticsService:
     def _execute(
         self, batch: QueryBatch, tickets: List[QueryTicket], queue_s: float
     ) -> None:
-        plan_start = time.perf_counter()
-        prepared = self._prepare(batch.graph, batch.algorithm)
-        representative = batch.requests[0]
-        plan = plan_query(representative, prepared)
-        if plan.caches:
-            cached = (
-                self.catalog.peek(
-                    _artifact_key(prepared, plan)
-                ) is not None
-            )
-            remaining = min(t.deadline for t in tickets) - time.perf_counter()
-            plan = degrade_for_deadline(
-                plan, prepared, remaining, artifact_cached=cached
-            )
-        plan_s = time.perf_counter() - plan_start
-
-        transform_start = time.perf_counter()
-        cache_hit = False
-        projector: Optional[TransformResult] = None
-        if plan.caches:
-            artifact, origin = self.catalog.get_or_build_with_origin(
-                prepared, plan.transform, plan.degree_bound,
-                dumb_weight=plan.dumb_weight,
-            )
-            cache_hit = origin != "built"
-            target: Union[CSRGraph, object] = artifact.payload
-            if isinstance(artifact.payload, TransformResult):
-                projector = artifact.payload
-                target = artifact.payload.graph
+        remaining_s = min(t.deadline for t in tickets) - time.perf_counter()
+        ipc_bytes_before = self.metrics.ipc_bytes_snapshot()
+        if self._process is not None:
+            outcome = self._execute_on_processes(batch, remaining_s)
         else:
-            target = prepared
-        transform_s = time.perf_counter() - transform_start
+            outcome = execute_pipeline(
+                self.catalog,
+                batch.graph,
+                algorithm=batch.algorithm,
+                transform=batch.transform,
+                degree_bound=batch.degree_bound,
+                options=batch.options,
+                sources=batch.sources,
+                remaining_s=remaining_s,
+                prepare=self._prepare,
+            )
+        ipc_bytes = self.metrics.ipc_bytes_snapshot() - ipc_bytes_before
 
-        execute_start = time.perf_counter()
-        per_request, execution = run_batch_on_target(batch, target)
-        execute_s = time.perf_counter() - execute_start
-
+        per_request = fan_out_per_request(batch.requests, outcome.per_source)
+        execution = outcome.execution
         finished_at = time.perf_counter()
         for index, ticket in enumerate(tickets):
-            values = per_request[ticket.request.request_id]
-            if projector is not None:
-                values = {
-                    source: projector.read_values(row)
-                    for source, row in values.items()
-                }
             timings = StageTimings(
-                queue_s=queue_s, plan_s=plan_s,
-                transform_s=transform_s, execute_s=execute_s,
+                queue_s=queue_s, plan_s=outcome.plan_s,
+                transform_s=outcome.transform_s, execute_s=outcome.execute_s,
             )
             timed_out = finished_at > ticket.deadline
             ticket._resolve(
                 QueryResult(
                     request_id=ticket.request.request_id,
                     algorithm=batch.algorithm,
-                    values=values,
-                    transform=plan.transform,
-                    degree_bound=plan.degree_bound,
-                    cache_hit=cache_hit,
-                    degraded=plan.degraded,
+                    values=per_request[ticket.request.request_id],
+                    transform=outcome.transform,
+                    degree_bound=outcome.degree_bound,
+                    cache_hit=outcome.cache_hit,
+                    degraded=outcome.degraded,
                     batched_with=len(tickets) - 1,
                     timings=timings,
                 )
@@ -421,12 +660,13 @@ class AnalyticsService:
             self.metrics.record(
                 QueryRecord(
                     stage_seconds={
-                        "queue": queue_s, "plan": plan_s,
-                        "transform": transform_s, "execute": execute_s,
+                        "queue": queue_s, "plan": outcome.plan_s,
+                        "transform": outcome.transform_s,
+                        "execute": outcome.execute_s,
                         "total": timings.total_s,
                     },
-                    cache_hit=cache_hit,
-                    degraded=plan.degraded,
+                    cache_hit=outcome.cache_hit,
+                    degraded=outcome.degraded,
                     timed_out=timed_out,
                     cancelled=False,
                     failed=False,
@@ -440,41 +680,72 @@ class AnalyticsService:
                     traversals_saved=(
                         execution.traversals_saved if index == 0 else 0
                     ),
+                    ipc_bytes=ipc_bytes if index == 0 else 0,
+                    hydrate_hits=outcome.hydrate_hits if index == 0 else 0,
                 )
             )
 
-    def _prepare(self, graph: CSRGraph, algorithm: str) -> CSRGraph:
-        """Per-algorithm graph preparation, cached through the catalog.
+    def _execute_on_processes(
+        self, batch: QueryBatch, remaining_s: float
+    ) -> BatchOutcome:
+        """Ship a batch to the process pool, degrading on worker loss.
 
-        ``prepare_graph`` symmetrises for CC and strips weights for the
-        unweighted analytics — O(|E|) work worth amortising across
-        requests just like the transforms themselves.  Prepared graphs
-        live in the :class:`GraphCatalog` as ``kind="prepared"``
-        artifacts, so ONE byte budget governs transforms and prepared
-        graphs and eviction keeps both tiers bounded (ROADMAP
-        "prepared-graph cache bounds").  An input that needs no
-        reshaping is passed through uncached.
+        The wait budget is the tightest member deadline plus a grace
+        period; with no deadlines in the batch the dispatcher waits
+        indefinitely (a crash still surfaces immediately — only a
+        silently wedged worker needs the deadline to be detected).  On
+        :class:`WorkerLost` the batch is retried once *inline* in this
+        dispatcher thread against the front-end catalog — results are
+        then correct but ``degraded``, mirroring the deadline
+        degradation contract: a slower answer beats none.
         """
-        spec = ALGORITHMS[algorithm]
-        changes_graph = spec.symmetrize or (
-            not spec.weighted and graph.weights is not None
+        assert self._process is not None
+        graph_path = self._process.export(batch.graph)
+        spec = BatchSpec(
+            graph_fingerprint=batch.graph.fingerprint(),
+            graph_path=graph_path,
+            algorithm=batch.algorithm,
+            transform=batch.transform,
+            degree_bound=batch.degree_bound,
+            options=batch.options,
+            sources=batch.sources,
+            remaining_s=remaining_s,
         )
-        if not changes_graph:
-            return prepare_graph(graph, algorithm)
-        key = ArtifactKey.for_prepared(
-            graph, symmetrize=spec.symmetrize, weighted=spec.weighted
+        wait_timeout = (
+            None if remaining_s == float("inf")
+            else max(remaining_s, 0.0) + WORKER_GRACE_S
         )
-
-        def build() -> TransformArtifact:
-            start = time.perf_counter()
-            prepared = prepare_graph(graph, algorithm)
-            return TransformArtifact(
-                key=key, payload=prepared,
-                build_seconds=time.perf_counter() - start,
+        try:
+            return self._process.run(spec, wait_timeout)
+        except WorkerLost as lost:
+            if not self.process_fallback:
+                raise
+            outcome = execute_pipeline(
+                self.catalog,
+                batch.graph,
+                algorithm=batch.algorithm,
+                transform=batch.transform,
+                degree_bound=batch.degree_bound,
+                options=batch.options,
+                sources=batch.sources,
+                remaining_s=remaining_s,
+                prepare=self._prepare,
             )
+            # The answer is correct but arrived the degraded way;
+            # surface that exactly like deadline degradation does.
+            del lost  # (message already counted via worker_restarts)
+            return replace(outcome, degraded=True)
 
-        artifact, _ = self.catalog.get_for_key(key, build)
-        return artifact.payload
+    def _prepare(self, graph: CSRGraph, algorithm: str) -> CSRGraph:
+        """Per-algorithm preparation via the front-end catalog.
+
+        Thin bound-method wrapper over
+        :func:`~repro.service.workers.prepare_for_algorithm` so tests
+        can intercept preparation on this service instance (the
+        process backend's workers prepare in their own processes and
+        are not affected).
+        """
+        return prepare_for_algorithm(self.catalog, graph, algorithm)
 
     def _fail(
         self,
@@ -502,14 +773,6 @@ class AnalyticsService:
                 cancelled=False, failed=True,
             )
         )
-
-
-def _artifact_key(prepared: CSRGraph, plan) -> "object":
-    from repro.service.artifacts import ArtifactKey
-
-    return ArtifactKey.for_transform(
-        prepared, plan.transform, plan.degree_bound, plan.dumb_weight
-    )
 
 
 def default_service(**kwargs) -> AnalyticsService:

@@ -50,15 +50,27 @@ class QueryRecord:
     lanes: int = 0
     #: scalar passes avoided by lane-parallel batching.
     traversals_saved: int = 0
+    #: bytes shipped across the process-backend IPC boundary for this
+    #: batch (spec down + reply up; 0 on the thread backend).
+    ipc_bytes: int = 0
+    #: worker-side cache fills served from the shared disk tier
+    #: instead of a rebuild (0 on the thread backend).
+    hydrate_hits: int = 0
 
 
 class ServiceMetrics:
     """Aggregate serving telemetry for one :class:`AnalyticsService`."""
 
-    def __init__(self, catalog_stats: Optional[CatalogStats] = None) -> None:
+    def __init__(
+        self,
+        catalog_stats: Optional[CatalogStats] = None,
+        *,
+        backend: str = "threads",
+    ) -> None:
         self._lock = threading.Lock()
         self._stage_samples: Dict[str, List[float]] = {s: [] for s in STAGES}
         self._catalog_stats = catalog_stats
+        self.backend = backend
         self.queries_total = 0
         self.queries_failed = 0
         self.queries_degraded = 0
@@ -73,6 +85,10 @@ class ServiceMetrics:
         #: high-water mark of the submission queue.
         self.max_queue_depth = 0
         self._queue_depth = 0
+        #: process-backend counters (all zero on the thread backend).
+        self.worker_restarts = 0
+        self.ipc_bytes = 0
+        self.hydrate_hits = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the executor)
@@ -90,6 +106,7 @@ class ServiceMetrics:
             self.traversals_total += record.traversals
             self.lanes_total += record.lanes
             self.traversals_saved += record.traversals_saved
+            self.hydrate_hits += record.hydrate_hits
             for stage, seconds in record.stage_seconds.items():
                 if stage in self._stage_samples:
                     self._stage_samples[stage].append(seconds)
@@ -98,6 +115,21 @@ class ServiceMetrics:
         with self._lock:
             self._queue_depth = depth
             self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def worker_restarted(self) -> None:
+        """A pool worker died and the pool was replaced."""
+        with self._lock:
+            self.worker_restarts += 1
+
+    def ipc_observed(self, nbytes: int) -> None:
+        """Account bytes crossing the process-backend IPC boundary."""
+        with self._lock:
+            self.ipc_bytes += int(nbytes)
+
+    def ipc_bytes_snapshot(self) -> int:
+        """Current IPC byte total (for per-batch deltas)."""
+        with self._lock:
+            return self.ipc_bytes
 
     # ------------------------------------------------------------------
     # Derived views
@@ -162,6 +194,11 @@ class ServiceMetrics:
                 "traversals_saved": self.traversals_saved,
                 "queue_depth": self._queue_depth,
                 "max_queue_depth": self.max_queue_depth,
+                # process-backend telemetry; identically zero when
+                # ``backend == "threads"`` (nothing crosses IPC).
+                "worker_restarts": self.worker_restarts,
+                "ipc_bytes": self.ipc_bytes,
+                "hydrate_hits": self.hydrate_hits,
             }
             percentiles = {
                 stage: {

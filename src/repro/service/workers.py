@@ -1,0 +1,377 @@
+"""Process-side execution for the analytics service.
+
+The thread backend shares everything through memory; a process pool
+shares *nothing* implicitly, so this module defines exactly what does
+cross the boundary and how each side rebuilds the rest:
+
+* **down the pipe** goes a :class:`BatchSpec` — a picklable recipe
+  (graph fingerprint + ``.npz`` path, algorithm, transform, K, engine
+  options, deduplicated sources, remaining deadline).  Never a live
+  :class:`~repro.graph.csr.CSRGraph`, never a transform artifact:
+  shipping megabytes of CSR per query would erase the win of leaving
+  the GIL behind.
+* **in the worker process** lives a private memory-tier
+  :class:`~repro.service.catalog.GraphCatalog` whose *disk tier is
+  shared*: every worker points at one spill directory, builds are
+  written through immediately (file-locked, atomically renamed), and
+  content-addressed keys make a sibling's artifact indistinguishable
+  from your own.  A worker's cold start is therefore one ``.npz``
+  hydration, not a re-transform.  Graphs hydrate the same way from a
+  ``graphs/`` directory keyed by fingerprint and are memoised per
+  process.
+* **back up the pipe** comes a :class:`BatchReply` holding compact
+  per-*unique-source* value arrays already projected to original node
+  ids — the front-end fans them back out to each request's ticket
+  (:func:`~repro.service.batching.fan_out_per_request`), so duplicate
+  sources cost one row of IPC, not one per request.
+
+:func:`execute_pipeline` — prepare, plan, degrade, resolve artifact,
+run, project — is the *same function the thread backend runs*; the
+backends differ only in where it executes and how its inputs arrive.
+That is what the parity tests pin: identical values from both
+backends, by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.baselines.base import ALGORITHMS, prepare_graph
+from repro.core.types import TransformResult
+from repro.errors import ServiceError, TigrError
+from repro.graph.csr import CSRGraph
+from repro.graph.io import load_npz, save_npz
+from repro.service.artifacts import ArtifactKey, TransformArtifact
+from repro.service.batching import BatchExecution, run_sources_on_target
+from repro.service.catalog import GraphCatalog, _spill_write_lock
+from repro.service.planner import degrade_for_deadline, plan_query
+from repro.service.query import QueryRequest
+
+#: test hook: a worker that sees this source in a spec calls
+#: ``os._exit`` — the only way to exercise crash recovery without
+#: depending on a real segfault.  Never set outside tests.
+CRASH_SOURCE_ENV = "REPRO_SERVICE_CRASH_SOURCE"
+
+
+# ----------------------------------------------------------------------
+# What crosses the IPC boundary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchSpec:
+    """A picklable recipe for one coalesced batch.
+
+    Everything a worker process needs to reproduce the thread
+    backend's work item, with the graph passed by *reference*
+    (fingerprint + file path) rather than by value.  ``remaining_s``
+    is the tightest member deadline measured at dispatch — the worker
+    applies the same cold-cache degradation rule the thread backend
+    does, against its own catalog's view of what is cached.
+    """
+
+    graph_fingerprint: str
+    graph_path: str
+    algorithm: str
+    transform: str
+    degree_bound: int  # 0 = planner decides
+    options: object  # EngineOptions (picklable frozen dataclass)
+    sources: Tuple[int, ...]
+    remaining_s: float = float("inf")
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one executed batch produced, backend-agnostic.
+
+    ``per_source`` maps each unique source (or ``-1`` for sourceless
+    analytics) to a value array **in original node-id space** — UDT
+    projection happens where the artifact lives, once per unique
+    source.  ``hydrate_hits`` counts disk-tier loads this batch
+    triggered (artifact or prepared-graph ``.npz`` reads), the
+    process backend's substitute for shared-memory cache hits.
+    """
+
+    per_source: Dict[int, np.ndarray]
+    transform: str
+    degree_bound: int
+    degraded: bool
+    cache_hit: bool
+    plan_s: float
+    transform_s: float
+    execute_s: float
+    execution: BatchExecution
+    hydrate_hits: int = 0
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """Envelope a worker process sends back: an outcome or an error.
+
+    Library errors travel as *messages*, not exception objects — some
+    of the typed exceptions take multi-argument constructors that do
+    not survive pickling, and the front-end re-raises them as
+    :class:`ServiceError` anyway.
+    """
+
+    outcome: Optional[BatchOutcome] = None
+    error: Optional[str] = None
+    pid: int = field(default_factory=os.getpid)
+
+    def nbytes(self) -> int:
+        """Approximate reply size on the wire (IPC accounting)."""
+        if self.outcome is None:
+            return 256
+        return 256 + sum(
+            values.nbytes for values in self.outcome.per_source.values()
+        )
+
+
+def spec_nbytes(spec: BatchSpec) -> int:
+    """Pickled size of a spec (the request half of IPC accounting)."""
+    return len(pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# ----------------------------------------------------------------------
+# The shared pipeline (both backends run exactly this)
+# ----------------------------------------------------------------------
+def prepare_for_algorithm(
+    catalog: GraphCatalog, graph: CSRGraph, algorithm: str
+) -> CSRGraph:
+    """Per-algorithm graph preparation, cached through ``catalog``.
+
+    ``prepare_graph`` symmetrises for CC and strips weights for the
+    unweighted analytics — O(|E|) work worth amortising across
+    requests just like the transforms themselves.  Prepared graphs are
+    ``kind="prepared"`` catalog artifacts, so one byte budget governs
+    transforms and prepared graphs alike.  An input that needs no
+    reshaping is passed through uncached.
+    """
+    spec = ALGORITHMS[algorithm]
+    changes_graph = spec.symmetrize or (
+        not spec.weighted and graph.weights is not None
+    )
+    if not changes_graph:
+        return prepare_graph(graph, algorithm)
+    key = ArtifactKey.for_prepared(
+        graph, symmetrize=spec.symmetrize, weighted=spec.weighted
+    )
+
+    def build() -> TransformArtifact:
+        start = time.perf_counter()
+        prepared = prepare_graph(graph, algorithm)
+        return TransformArtifact(
+            key=key, payload=prepared,
+            build_seconds=time.perf_counter() - start,
+        )
+
+    artifact, _ = catalog.get_for_key(key, build)
+    return artifact.payload
+
+
+def transform_key(prepared: CSRGraph, plan) -> ArtifactKey:
+    """The catalog key a plan's transform artifact lives under."""
+    return ArtifactKey.for_transform(
+        prepared, plan.transform, plan.degree_bound, plan.dumb_weight
+    )
+
+
+def execute_pipeline(
+    catalog: GraphCatalog,
+    graph: CSRGraph,
+    *,
+    algorithm: str,
+    transform: str,
+    degree_bound: int,
+    options,
+    sources: Tuple[int, ...],
+    remaining_s: float = float("inf"),
+    prepare: Optional[Callable[[CSRGraph, str], CSRGraph]] = None,
+) -> BatchOutcome:
+    """Plan, resolve, and execute one batch against ``catalog``.
+
+    The backend-independent core of the serving layer: the thread
+    backend calls it on the service's own catalog, the process backend
+    calls it inside each worker on that worker's catalog.  ``prepare``
+    overrides the preparation step (the executor passes its bound
+    method so tests can intercept it); the default routes through
+    :func:`prepare_for_algorithm`.
+    """
+    disk_hits_before = catalog.stats.disk_hits
+
+    plan_start = time.perf_counter()
+    if prepare is None:
+        prepared = prepare_for_algorithm(catalog, graph, algorithm)
+    else:
+        prepared = prepare(graph, algorithm)
+    representative = QueryRequest(
+        algorithm=algorithm,
+        graph=graph.fingerprint(),
+        sources=sources,
+        transform=transform,
+        degree_bound=degree_bound or None,
+        options=options,
+    )
+    plan = plan_query(representative, prepared)
+    if plan.caches:
+        plan = degrade_for_deadline(
+            plan, prepared, remaining_s,
+            artifact_cached=catalog.cached(transform_key(prepared, plan)),
+        )
+    plan_s = time.perf_counter() - plan_start
+
+    transform_start = time.perf_counter()
+    cache_hit = False
+    projector: Optional[TransformResult] = None
+    if plan.caches:
+        artifact, origin = catalog.get_or_build_with_origin(
+            prepared, plan.transform, plan.degree_bound,
+            dumb_weight=plan.dumb_weight,
+        )
+        cache_hit = origin != "built"
+        target: Union[CSRGraph, object] = artifact.payload
+        if isinstance(artifact.payload, TransformResult):
+            projector = artifact.payload
+            target = artifact.payload.graph
+    else:
+        target = prepared
+    transform_s = time.perf_counter() - transform_start
+
+    execute_start = time.perf_counter()
+    per_source, execution = run_sources_on_target(
+        algorithm, sources, options, target
+    )
+    if projector is not None:
+        per_source = {
+            source: projector.read_values(row)
+            for source, row in per_source.items()
+        }
+    execute_s = time.perf_counter() - execute_start
+
+    return BatchOutcome(
+        per_source=per_source,
+        transform=plan.transform,
+        degree_bound=plan.degree_bound,
+        degraded=plan.degraded,
+        cache_hit=cache_hit,
+        plan_s=plan_s,
+        transform_s=transform_s,
+        execute_s=execute_s,
+        execution=execution,
+        hydrate_hits=catalog.stats.disk_hits - disk_hits_before,
+    )
+
+
+# ----------------------------------------------------------------------
+# Graph store: how graphs reach worker processes
+# ----------------------------------------------------------------------
+def graph_store_path(graphs_dir: str, fingerprint: str) -> str:
+    return os.path.join(graphs_dir, f"{fingerprint[:32]}.npz")
+
+
+def export_graph(graph: CSRGraph, graphs_dir: str) -> str:
+    """Publish ``graph`` to the shared store; returns its path.
+
+    Content-addressed (fingerprint filename), written once: the write
+    goes to a temp file and is renamed into place under the same
+    advisory lock the catalog uses for spills, so concurrent services
+    sharing a store never tear or duplicate the file.
+    """
+    path = graph_store_path(graphs_dir, graph.fingerprint())
+    if os.path.exists(path):
+        return path
+    os.makedirs(graphs_dir, exist_ok=True)
+    with _spill_write_lock(path):
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp-{os.getpid()}.npz"
+            try:
+                save_npz(graph, tmp)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points
+# ----------------------------------------------------------------------
+#: per-process state, populated by the pool initializer.  Worker
+#: processes execute one task at a time, so no locking is needed here.
+_WORKER_CATALOG: Optional[GraphCatalog] = None
+_WORKER_GRAPHS: Dict[str, CSRGraph] = {}
+
+
+def worker_init(artifacts_dir: str, memory_budget_bytes: int) -> None:
+    """Pool initializer: build this process's catalog over the shared tier."""
+    global _WORKER_CATALOG
+    _WORKER_CATALOG = GraphCatalog(
+        memory_budget_bytes,
+        spill_dir=artifacts_dir,
+        write_through=True,
+    )
+    _WORKER_GRAPHS.clear()
+
+
+def worker_ping() -> int:
+    """Liveness probe; forces lazy worker start-up and returns the pid."""
+    return os.getpid()
+
+
+def _resolve_worker_graph(spec: BatchSpec) -> Tuple[CSRGraph, int]:
+    """The spec's graph, from the per-process memo or the shared store.
+
+    Returns ``(graph, loads)`` where ``loads`` is 1 when this call hit
+    the disk (counted as a hydrate in the reply).
+    """
+    graph = _WORKER_GRAPHS.get(spec.graph_fingerprint)
+    if graph is not None:
+        return graph, 0
+    if not os.path.exists(spec.graph_path):
+        raise ServiceError(
+            f"graph {spec.graph_fingerprint[:12]} not found in shared "
+            f"store at {spec.graph_path}"
+        )
+    graph = load_npz(spec.graph_path)
+    _WORKER_GRAPHS[spec.graph_fingerprint] = graph
+    return graph, 1
+
+
+def run_batch_spec(spec: BatchSpec) -> BatchReply:
+    """Execute one spec in a worker process; the pool's task function.
+
+    Library failures are folded into the reply as messages (see
+    :class:`BatchReply`); only genuinely unexpected exceptions —
+    which, for a process pool, includes the process dying — surface
+    through the future.
+    """
+    crash_on = os.environ.get(CRASH_SOURCE_ENV)
+    if crash_on is not None and int(crash_on) in spec.sources:
+        os._exit(17)  # test hook: simulate a worker crash
+    if _WORKER_CATALOG is None:
+        return BatchReply(error="worker process was never initialised")
+    try:
+        graph, graph_loads = _resolve_worker_graph(spec)
+        outcome = execute_pipeline(
+            _WORKER_CATALOG,
+            graph,
+            algorithm=spec.algorithm,
+            transform=spec.transform,
+            degree_bound=spec.degree_bound,
+            options=spec.options,
+            sources=spec.sources,
+            remaining_s=spec.remaining_s,
+        )
+        if graph_loads:
+            outcome = replace(
+                outcome, hydrate_hits=outcome.hydrate_hits + graph_loads
+            )
+        return BatchReply(outcome=outcome)
+    except TigrError as exc:
+        return BatchReply(error=str(exc))
+    except Exception as exc:  # pragma: no cover - defensive
+        return BatchReply(error=f"internal error: {exc!r}")

@@ -75,9 +75,13 @@ class TestResultsMatchDirectCalls:
             builds_after_cold = catalog.stats.builds
             warm = service.run(QueryRequest.single("sssp", "pokec", 7))
             assert not cold.cache_hit and warm.cache_hit
-            # zero transform work on the warm path, per cache counters
-            assert catalog.stats.builds == builds_after_cold == 1
-            assert catalog.stats.hits >= 1
+            if service.backend == "threads":
+                # zero transform work on the warm path, per cache
+                # counters (the process backend builds in worker-side
+                # catalogs; its warm path is pinned by cache_hit above
+                # and by tests/test_service_process_backend.py)
+                assert catalog.stats.builds == builds_after_cold == 1
+                assert catalog.stats.hits >= 1
             direct = sssp(virtual_transform(graph, 10, coalesced=True), 7)
             assert np.array_equal(warm.value(7), direct.values)
 
@@ -140,8 +144,11 @@ class TestConcurrency:
             ]
             results = [t.result(60) for t in tickets]
             assert all(r.ok for r in results)
-            # single-flight: 40 cold-ish queries still build exactly once
-            assert catalog.stats.builds == 1
+            if service.backend == "threads":
+                # single-flight: 40 cold-ish queries build exactly once
+                # (process workers build in their own catalogs, at most
+                # once per worker thanks to the shared disk tier)
+                assert catalog.stats.builds == 1
             reference = sssp(virtual_transform(graph, 10, coalesced=True), 5)
             assert np.array_equal(results[5].value(5), reference.values)
 
@@ -167,8 +174,10 @@ class TestConcurrency:
             assert len(results) == 30 and all(r.ok for r in results)
 
     def test_backpressure_nonblocking_submit(self, graph):
-        # one worker stuck on a slow item + queue of 1 -> third submit fails
-        with AnalyticsService(workers=1, queue_size=1) as service:
+        # one worker stuck on a slow item + queue of 1 -> third submit
+        # fails.  Thread backend pinned: the stall comes from
+        # monkeypatching _prepare, which process workers never call.
+        with AnalyticsService(workers=1, queue_size=1, backend="threads") as service:
             service.register("g", graph)
             blocker = threading.Event()
             original = service._prepare
@@ -212,7 +221,8 @@ class TestConcurrency:
 
 class TestTimeoutsAndDegradation:
     def test_expired_in_queue_fails_fast(self, graph):
-        with AnalyticsService(workers=1, queue_size=16) as service:
+        # thread backend pinned: the stall monkeypatches _prepare
+        with AnalyticsService(workers=1, queue_size=16, backend="threads") as service:
             service.register("g", graph)
             blocker = threading.Event()
             original = service._prepare
@@ -276,7 +286,8 @@ class TestTimeoutsAndDegradation:
 
 class TestCancellation:
     def test_cancel_while_queued(self, graph):
-        with AnalyticsService(workers=1, queue_size=16) as service:
+        # thread backend pinned: the stall monkeypatches _prepare
+        with AnalyticsService(workers=1, queue_size=16, backend="threads") as service:
             service.register("g", graph)
             blocker = threading.Event()
             original = service._prepare
@@ -303,7 +314,8 @@ class TestCancellation:
         assert ticket.cancel() is False
 
     def test_result_wait_timeout(self, graph):
-        with AnalyticsService(workers=1) as service:
+        # thread backend pinned: the stall monkeypatches _prepare
+        with AnalyticsService(workers=1, backend="threads") as service:
             service.register("g", graph)
             blocker = threading.Event()
             original = service._prepare
@@ -334,7 +346,10 @@ class TestErrorsAndMetrics:
         summary = service.metrics.summary()
         assert summary["queries_total"] == 2
         assert summary["cache_hit_rate"] == 0.5
-        assert summary["catalog_builds"] == 1
+        if service.backend == "threads":
+            assert summary["catalog_builds"] == 1
+        for key in ("worker_restarts", "ipc_bytes", "hydrate_hits"):
+            assert key in summary
         for stage in ("queue", "plan", "transform", "execute", "total"):
             assert f"{stage}_p50_ms" in summary
             assert f"{stage}_p95_ms" in summary

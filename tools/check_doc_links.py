@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for inline links and images,
+resolves relative targets against the linking file's directory, and
+exits non-zero listing anything that does not resolve:
+
+* a relative path target must exist (file or directory);
+* a ``#fragment`` on a markdown target must match a heading in that
+  file (GitHub anchor rules: lowercase, punctuation stripped, spaces
+  to dashes);
+* external schemes (``http:``, ``https:``, ``mailto:``) are ignored —
+  this guards repo self-consistency, not the internet.
+
+Run from anywhere: paths are resolved relative to the repo root
+(parent of this file's directory).  CI runs it as the docs job; run
+locally with ``python tools/check_doc_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links/images: [text](target) / ![alt](target).
+#: Reference-style links are rare in this repo and not checked.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings, for anchor validation.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: directories never scanned (build products, caches, envs).
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor id transformation (close enough)."""
+    # inline code/links inside headings contribute their text only
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    content = path.read_text(encoding="utf-8")
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(content)}
+
+
+def markdown_files() -> list:
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list:
+    """All broken links in one file, as human-readable strings."""
+    problems = []
+    content = path.read_text(encoding="utf-8")
+    # strip fenced code blocks: links inside them are examples
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            fragment = target[1:]
+            if github_anchor(fragment) not in anchors_of(path):
+                problems.append(f"{path.relative_to(REPO_ROOT)}: "
+                                f"no heading for in-page anchor {target!r}")
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: "
+                            f"target does not exist: {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: {raw!r} has no "
+                    f"heading for anchor #{fragment}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken link(s) across {len(files)} files:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"ok: {len(files)} markdown files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
