@@ -232,11 +232,77 @@ def cmd_analyze(args) -> int:
     return analyze_run(args)
 
 
+def _trace_graph_entry(name: str, scale: float, graph) -> dict:
+    """A trace-header recipe for the graph the CLI loaded."""
+    from repro.service import dataset_graph_entry
+
+    if name.lower() in DATASETS:
+        return dataset_graph_entry(
+            name.lower(), scale=scale, fingerprint=graph.fingerprint()
+        )
+    if name.endswith(".npz"):
+        return {"path": name, "fingerprint": graph.fingerprint()}
+    # other file formats replay via overrides only; record the
+    # fingerprint so a mismatched override is still caught.
+    return {"fingerprint": graph.fingerprint()}
+
+
+def cmd_serve_trace(args) -> int:
+    """``serve --trace``: drive the service from a recorded stream."""
+    from repro.service import GraphCatalog, TraceRecorder, load_trace, replay_trace
+
+    trace = load_trace(args.trace, on_malformed=args.malformed)
+    overrides = {}
+    if args.graph is not None:
+        overrides[args.graph] = _load(args.graph, scale=args.scale)
+    recorder = None
+    if args.record:
+        recorder = TraceRecorder(args.record, graphs=trace.header.graphs)
+    catalog = GraphCatalog(
+        memory_budget_bytes=args.cache_mb * 1024 * 1024,
+        spill_dir=args.spill_dir,
+    )
+    from repro.service import AnalyticsService
+
+    try:
+        with AnalyticsService(
+            catalog, workers=args.workers, backend=args.backend,
+            queue_size=args.queue_size, default_timeout_s=args.timeout,
+        ) as service:
+            report = replay_trace(
+                trace,
+                service=service,
+                speed=args.speed,
+                loop=args.loop,
+                batch=args.batch,
+                graphs=overrides,
+                recorder=recorder,
+            )
+            report.source = args.trace
+            print(report.to_text())
+            print("service metrics:")
+            for key, value in service.metrics.summary().items():
+                print(f"  {key:28s} {value:.4g}"
+                      if isinstance(value, float) else f"  {key:28s} {value}")
+    finally:
+        if recorder is not None:
+            recorder.close()
+    if not report.ok:
+        return 1
+    if not report.digests_checked and report.results_failed:
+        return 1  # nothing to verify against, and queries failed
+    return 0
+
+
 def cmd_serve(args) -> int:
     import random
 
     from repro.service import AnalyticsService, GraphCatalog, QueryRequest
 
+    if args.trace is not None:
+        return cmd_serve_trace(args)
+    if args.graph is None:
+        raise TigrError("serve needs a graph (or --trace with graph recipes)")
     graph = _load(args.graph, scale=args.scale)
     rng = random.Random(args.seed)
     algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
@@ -249,10 +315,19 @@ def cmd_serve(args) -> int:
         memory_budget_bytes=args.cache_mb * 1024 * 1024,
         spill_dir=args.spill_dir,
     )
+    recorder = None
+    if args.record:
+        from repro.service import TraceRecorder
+
+        recorder = TraceRecorder(
+            args.record,
+            graphs={args.graph: _trace_graph_entry(args.graph, args.scale, graph)},
+        )
     start = time.perf_counter()
     with AnalyticsService(
         catalog, workers=args.workers, backend=args.backend,
         queue_size=args.queue_size, default_timeout_s=args.timeout,
+        recorder=recorder,
     ) as service:
         service.register(args.graph, graph)
         n = graph.num_nodes
@@ -276,6 +351,10 @@ def cmd_serve(args) -> int:
         for key, value in service.metrics.summary().items():
             print(f"  {key:28s} {value:.4g}"
                   if isinstance(value, float) else f"  {key:28s} {value}")
+    if recorder is not None:
+        recorder.close()
+        print(f"recorded {recorder.requests_recorded} request(s) / "
+              f"{recorder.results_recorded} digest(s) to {args.record}")
     return 0 if ok == len(results) else 1
 
 
@@ -347,9 +426,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="drive a synthetic concurrent workload through the service",
+        help="drive a synthetic or trace-recorded workload through the service",
     )
-    p.add_argument("graph")
+    p.add_argument("graph", nargs="?", default=None,
+                   help="graph to serve (optional with --trace when the "
+                        "trace header carries graph recipes)")
+    p.add_argument("--trace", default=None, metavar="SRC",
+                   help="replay a recorded JSONL trace instead of the "
+                        "synthetic workload; SRC is a path, '-' (stdin), "
+                        "or tcp://host:port (docs/service.md)")
+    p.add_argument("--record", default=None, metavar="OUT",
+                   help="record served traffic (synthetic or replayed) "
+                        "plus result digests to OUT as a replayable trace")
+    p.add_argument("--speed", type=float, default=0.0,
+                   help="trace pacing: 0 = as fast as possible (default), "
+                        "1 = recorded inter-arrival gaps, N = N x faster")
+    p.add_argument("--loop", type=int, default=1,
+                   help="replay the trace N times through one service "
+                        "(later passes hit a warm catalog)")
+    p.add_argument("--malformed", choices=("strict", "skip"), default="strict",
+                   help="malformed trace-line policy (default strict)")
     p.add_argument("--requests", type=int, default=64,
                    help="number of synthetic queries (default 64)")
     p.add_argument("--algorithms", default="bfs,sssp,pr",

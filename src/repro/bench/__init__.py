@@ -35,7 +35,11 @@ from repro.bench.multisource import multisource_lanes
 from repro.bench.orthogonality import device_generation_sweep, multigpu_orthogonality
 from repro.bench.report import ExperimentReport, format_table, geometric_mean
 from repro.bench.scaling import speedup_scaling, transform_scaling
-from repro.bench.service import service_backend_sweep, service_throughput
+from repro.bench.service import (
+    service_backend_sweep,
+    service_throughput,
+    service_trace_replay,
+)
 from repro.bench.sweeps import reordering_comparison, skew_sweep
 from repro.bench.tables import (
     table1_split_properties,
@@ -70,6 +74,7 @@ __all__ = [
     "speedup_scaling",
     "service_backend_sweep",
     "service_throughput",
+    "service_trace_replay",
     "multisource_lanes",
     "skew_sweep",
     "reordering_comparison",

@@ -33,6 +33,7 @@ from repro.bench import (
     reordering_comparison,
     service_backend_sweep,
     service_throughput,
+    service_trace_replay,
     skew_sweep,
     speedup_scaling,
     table1_split_properties,
@@ -72,6 +73,7 @@ EXPERIMENTS = {
     "devices": lambda scale: device_generation_sweep(scale=scale),
     "service": lambda scale: service_throughput(scale=scale),
     "service-backends": lambda scale: service_backend_sweep(scale=scale),
+    "service-trace": lambda scale: service_trace_replay(scale=scale),
     "multisource": lambda scale: multisource_lanes(scale=scale),
 }
 

@@ -20,6 +20,7 @@ service.  Three phases over one dataset stand-in:
 
 from __future__ import annotations
 
+import io
 import os
 import random
 import threading
@@ -238,6 +239,103 @@ def service_backend_sweep(
         report.extras[f"processes_vs_threads_x{workers}"] = (
             qps[("processes", workers)] / qps[("threads", workers)]
         )
+    return report
+
+
+def service_trace_replay(
+    scale: float = 1.0,
+    *,
+    dataset: str = "pokec",
+    num_queries: int = 48,
+    workers: int = 4,
+    algorithms: List[str] = ("bfs", "sssp"),
+    transform: str = "udt",
+    seed: int = 7,
+    batch: int = 8,
+) -> ExperimentReport:
+    """Record a synthetic stream once, replay it on both backends.
+
+    The trace-driven counterpart of :func:`service_throughput`: the
+    record phase captures ``num_queries`` requests plus their result
+    digests into an in-memory JSONL trace, then each replay phase
+    re-drives a fresh service from that trace and diffs every digest
+    (:func:`repro.service.replay_trace`).  One row per phase; the
+    digest columns are the point — a throughput number from a replay
+    whose answers drifted is not a benchmark, it is a bug report.
+    """
+    from repro.service import TraceRecorder, dataset_graph_entry, replay_trace
+
+    report = ExperimentReport(
+        "Service trace replay",
+        f"{num_queries} {transform} queries on {dataset} recorded once, "
+        f"replayed on threads and processes ({workers} workers, "
+        f"submit window {batch})",
+    )
+    graph = load_dataset(dataset, scale=scale)
+    algorithms = list(algorithms)
+    requests = _make_requests(
+        dataset, graph.num_nodes, num_queries, algorithms, seed, transform
+    )
+    recipes = {
+        dataset: dataset_graph_entry(
+            dataset, scale=scale, fingerprint=graph.fingerprint()
+        )
+    }
+
+    # -- record: drive the stream once, capturing requests + digests ---
+    sink = io.StringIO()
+    recorder = TraceRecorder(sink, graphs=recipes)
+    with AnalyticsService(
+        GraphCatalog(), workers=workers, recorder=recorder,
+        queue_size=max(128, num_queries),
+    ) as service:
+        service.register(dataset, graph)
+        start = time.perf_counter()
+        tickets = service.submit_batch(requests)
+        results = [t.result() for t in tickets]
+        record_elapsed = time.perf_counter() - start
+        assert all(r.ok for r in results)
+    recorder.close()
+    trace_text = sink.getvalue()
+    report.add_row(
+        phase="record",
+        backend="threads",
+        queries=num_queries,
+        seconds=record_elapsed,
+        qps=num_queries / record_elapsed if record_elapsed > 0 else float("inf"),
+        digests_checked=0,
+        digests_matched=0,
+    )
+    report.extras["trace_lines"] = trace_text.count("\n")
+    report.extras["trace_bytes"] = len(trace_text)
+
+    # -- replay: same trace, fresh service per backend -----------------
+    for backend in ("threads", "processes"):
+        from repro.service import load_trace
+
+        trace = load_trace(io.StringIO(trace_text))
+        replay = replay_trace(
+            trace,
+            backend=backend,
+            workers=workers,
+            queue_size=max(128, num_queries),
+            batch=batch,
+            graphs={dataset: graph},
+        )
+        summary = replay.summary()
+        assert replay.ok, "\n".join(str(m) for m in replay.mismatches)
+        report.add_row(
+            phase=f"replay-{backend}",
+            backend=backend,
+            queries=replay.requests_submitted,
+            seconds=replay.elapsed_s,
+            qps=replay.qps,
+            digests_checked=summary["digests_checked"],
+            digests_matched=summary["digests_matched"],
+        )
+    report.extras["replay_threads_vs_record"] = (
+        report.rows[1]["qps"] / report.rows[0]["qps"]
+    )
     return report
 
 

@@ -89,6 +89,47 @@ class WorkerLost(ServiceError):
         super().__init__(f"worker lost: {reason}{detail}")
 
 
+class TraceFormatError(ServiceError):
+    """A request trace line could not be parsed or validated.
+
+    Raised by :class:`repro.service.ingest.TraceReader` under the
+    ``strict`` malformed-line policy for non-JSON lines, lines missing
+    required fields, unknown line types, and field values that fail
+    validation (bad algorithm, negative delta, non-integer sources).
+    Carries the one-based line number so operators can find the
+    offending record in a multi-gigabyte trace.  Subclasses
+    :class:`ServiceError` so existing blanket handlers keep working.
+    """
+
+    def __init__(self, reason: str, *, line: int = 0, source: str = "") -> None:
+        self.reason = reason
+        self.line = int(line)
+        self.source = source
+        where = f"{source or 'trace'}"
+        if line:
+            where += f":{line}"
+        super().__init__(f"{where}: {reason}")
+
+
+class TraceVersionError(TraceFormatError):
+    """A trace declares a format version this reader cannot replay.
+
+    Version checks are structural, not per-line: a future-versioned
+    trace is rejected outright even under the ``skip`` policy, because
+    silently skipping every line of an incompatible trace would report
+    a vacuous zero-mismatch replay.
+    """
+
+    def __init__(self, found: int, supported: int, *, source: str = "") -> None:
+        self.found = int(found)
+        self.supported = int(supported)
+        super().__init__(
+            f"trace format version {found} not supported "
+            f"(this reader replays version {supported})",
+            source=source,
+        )
+
+
 class SplitSafetyError(ServiceError):
     """A split transform was requested for a split-unsafe analytic.
 

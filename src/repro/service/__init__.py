@@ -19,10 +19,19 @@ graph library's value is its reusable runtime, not its kernels alone):
   (``backend="processes"``, :mod:`repro.service.workers`);
 * :class:`ServiceMetrics` — cache hit rate, queue depth, and
   per-stage latency percentiles in the same reporting style as
-  :mod:`repro.gpu.metrics`.
+  :mod:`repro.gpu.metrics`;
+* :mod:`repro.service.ingest` / :mod:`repro.service.replay` — a
+  versioned JSONL trace format with a :class:`TraceReader`
+  (file/stdin/socket sources, strict/skip malformed-line policies)
+  and a :class:`TraceRecorder` the service wraps around live traffic;
+  :func:`replay_trace` re-submits a recorded stream and verifies
+  per-request result digests, making every captured trace a
+  deterministic regression test that runs identically under both
+  backends (see ``docs/testing.md``).
 
 CLI: ``python -m repro query`` (one-shot) and ``python -m repro
-serve`` (synthetic concurrent workload driver).
+serve`` (synthetic workload driver, or trace-driven via
+``--trace``/``--record``).
 """
 
 from repro.errors import WorkerLost
@@ -36,9 +45,28 @@ from repro.service.executor import (
     default_service,
     resolve_backend,
 )
+from repro.service.ingest import (
+    TRACE_VERSION,
+    Trace,
+    TraceHeader,
+    TraceReader,
+    TraceRecorder,
+    TraceRequest,
+    TraceResult,
+    dataset_graph_entry,
+    load_trace,
+    result_digest,
+)
 from repro.service.metrics import QueryRecord, ServiceMetrics, percentile
 from repro.service.planner import QueryPlan, estimate_build_seconds, plan_query
 from repro.service.query import QueryRequest, QueryResult, StageTimings
+from repro.service.replay import (
+    DigestMismatch,
+    ReplayReport,
+    record_trace,
+    replay_trace,
+    resolve_trace_graphs,
+)
 from repro.service.workers import BatchOutcome, BatchSpec, execute_pipeline
 
 __all__ = [
@@ -48,6 +76,7 @@ __all__ = [
     "BatchOutcome",
     "BatchSpec",
     "CatalogStats",
+    "DigestMismatch",
     "GraphCatalog",
     "QueryBatch",
     "QueryPlan",
@@ -55,16 +84,30 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "QueryTicket",
+    "ReplayReport",
     "ServiceMetrics",
     "StageTimings",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceHeader",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceRequest",
+    "TraceResult",
     "TransformArtifact",
     "WorkerLost",
+    "dataset_graph_entry",
     "default_service",
     "estimate_build_seconds",
     "execute_pipeline",
     "group_requests",
     "load_artifact",
+    "load_trace",
     "percentile",
     "plan_query",
+    "record_trace",
+    "replay_trace",
     "resolve_backend",
+    "resolve_trace_graphs",
+    "result_digest",
 ]

@@ -61,12 +61,13 @@ import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ServiceError, TigrError, WorkerLost
 from repro.graph.csr import CSRGraph
 from repro.service.batching import QueryBatch, fan_out_per_request, group_requests
 from repro.service.catalog import GraphCatalog
+from repro.service.ingest import TraceRecorder
 from repro.service.metrics import QueryRecord, ServiceMetrics
 from repro.service.query import QueryRequest, QueryResult, StageTimings
 from repro.service.workers import (
@@ -113,10 +114,17 @@ class QueryTicket:
 
     ``result()`` blocks until the worker finishes (or the optional
     wait timeout elapses); ``cancel()`` succeeds only while the
-    request is still queued.
+    request is still queued.  ``on_resolve`` is the executor's
+    observation hook (trace recording); it runs after the result is
+    set and must never raise into the worker loop.
     """
 
-    def __init__(self, request: QueryRequest, submitted_at: float) -> None:
+    def __init__(
+        self,
+        request: QueryRequest,
+        submitted_at: float,
+        on_resolve: Optional[Callable[["QueryTicket", QueryResult], None]] = None,
+    ) -> None:
         self.request = request
         self.submitted_at = submitted_at
         self._event = threading.Event()
@@ -124,6 +132,7 @@ class QueryTicket:
         self._result: Optional[QueryResult] = None
         self._cancelled = False
         self._claimed = False
+        self._on_resolve = on_resolve
 
     @property
     def deadline(self) -> float:
@@ -176,6 +185,14 @@ class QueryTicket:
 
     def _resolve(self, result: QueryResult) -> None:
         self._result = result
+        # Observe *before* waking waiters: a caller returning from
+        # ``result()`` must find the trace line already written.
+        if self._on_resolve is not None:
+            try:
+                self._on_resolve(self, result)
+            except Exception:
+                # Observation (trace capture) must never fail serving.
+                pass
         self._event.set()
 
 
@@ -374,6 +391,13 @@ class AnalyticsService:
         instead of failing with the :class:`WorkerLost` message.
         Defaults to on; tests switch it off to observe the typed
         failure.
+    recorder:
+        Optional :class:`~repro.service.ingest.TraceRecorder` wrapped
+        around live traffic from the start: every submitted request is
+        written as a trace line (with its inter-arrival delta) and
+        every resolved ticket as a result line carrying the answer's
+        digest.  Also attachable/detachable at runtime
+        (:meth:`attach_recorder` / :meth:`detach_recorder`).
     """
 
     def __init__(
@@ -386,6 +410,7 @@ class AnalyticsService:
         default_timeout_s: Optional[float] = None,
         mp_context: Optional[str] = None,
         process_fallback: bool = True,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
@@ -396,6 +421,7 @@ class AnalyticsService:
         self.metrics = ServiceMetrics(self.catalog.stats, backend=self.backend)
         self.default_timeout_s = default_timeout_s
         self.process_fallback = bool(process_fallback)
+        self._recorder = recorder
         self._graphs: Dict[str, CSRGraph] = {}
         self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(maxsize=queue_size)
         self._stopped = False
@@ -486,8 +512,16 @@ class AnalyticsService:
         if not requests:
             return []
         requests = [self._with_default_timeout(r) for r in requests]
+        recorder = self._recorder
+        if recorder is not None:
+            for request in requests:
+                recorder.record_request(request)
+            self.metrics.trace_observed(requests=len(requests))
         now = time.perf_counter()
-        tickets = {r.request_id: QueryTicket(r, now) for r in requests}
+        tickets = {
+            r.request_id: QueryTicket(r, now, on_resolve=self._ticket_resolved)
+            for r in requests
+        }
         for batch in group_requests(requests, self._resolve_graph):
             item = _WorkItem(
                 batch=batch,
@@ -508,6 +542,32 @@ class AnalyticsService:
     def run(self, request: QueryRequest, *, timeout: Optional[float] = None) -> QueryResult:
         """Submit and wait: the one-call synchronous convenience."""
         return self.submit(request).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Trace capture
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder: TraceRecorder) -> None:
+        """Capture all traffic from now on as a replayable trace.
+
+        One recorder at a time; attaching replaces any previous one
+        (requests already in flight still resolve through the hook, so
+        their result lines land in the *new* trace only if their
+        request lines did — replay ignores orphaned results).
+        """
+        self._recorder = recorder
+
+    def detach_recorder(self, recorder: Optional[TraceRecorder] = None) -> None:
+        """Stop capturing (``recorder`` given: only if still attached)."""
+        if recorder is None or self._recorder is recorder:
+            self._recorder = None
+
+    def _ticket_resolved(self, ticket: QueryTicket, result: QueryResult) -> None:
+        """Resolution hook: append the result digest to the trace."""
+        recorder = self._recorder
+        if recorder is None:
+            return
+        recorder.record_result(ticket.request, result)
+        self.metrics.trace_observed(results=1)
 
     def _with_default_timeout(self, request: QueryRequest) -> QueryRequest:
         if request.timeout_s is not None or self.default_timeout_s is None:

@@ -89,6 +89,12 @@ class ServiceMetrics:
         self.worker_restarts = 0
         self.ipc_bytes = 0
         self.hydrate_hits = 0
+        #: trace-capture counters (zero unless a recorder is attached).
+        self.trace_requests = 0
+        self.trace_results = 0
+        #: replay verification counters (zero outside replay runs).
+        self.replay_digests_checked = 0
+        self.replay_digest_mismatches = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the executor)
@@ -130,6 +136,18 @@ class ServiceMetrics:
         """Current IPC byte total (for per-batch deltas)."""
         with self._lock:
             return self.ipc_bytes
+
+    def trace_observed(self, *, requests: int = 0, results: int = 0) -> None:
+        """Account trace-capture activity (attached recorder)."""
+        with self._lock:
+            self.trace_requests += int(requests)
+            self.trace_results += int(results)
+
+    def replay_observed(self, *, checked: int = 0, mismatched: int = 0) -> None:
+        """Account replay digest verification against this service."""
+        with self._lock:
+            self.replay_digests_checked += int(checked)
+            self.replay_digest_mismatches += int(mismatched)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -199,6 +217,12 @@ class ServiceMetrics:
                 "worker_restarts": self.worker_restarts,
                 "ipc_bytes": self.ipc_bytes,
                 "hydrate_hits": self.hydrate_hits,
+                # trace/replay telemetry; zero unless a recorder is
+                # attached or a replay verified against this service.
+                "trace_requests": self.trace_requests,
+                "trace_results": self.trace_results,
+                "replay_digests_checked": self.replay_digests_checked,
+                "replay_digest_mismatches": self.replay_digest_mismatches,
             }
             percentiles = {
                 stage: {

@@ -1,5 +1,7 @@
 """Batching: grouping rules, source dedup, result equivalence."""
 
+import random
+
 import numpy as np
 import pytest
 
@@ -210,6 +212,90 @@ class TestEndToEndBatchedService:
             results = [t.result(60) for t in service.submit_batch(requests)]
         assert [r.algorithm for r in results] == ["sssp", "bfs", "pr"]
         assert all(r.ok for r in results)
+
+    def test_fuzz_batched_equals_scalar_path(self, graph):
+        """Property test: any random request mix, batched == scalar.
+
+        A seeded RNG builds mixes across algorithms, transforms, K
+        values, and single/multi-source shapes; the whole mix goes
+        through ``submit_batch`` (coalescing, dedup, lane fan-out) on
+        both backends and every value array must be *bitwise* equal to
+        the same request served alone by a scalar one-worker service.
+        """
+        unweighted = graph.without_weights()
+        graphs = {"w": graph, "uw": unweighted}
+
+        def random_mix(rng):
+            requests = []
+            for _ in range(rng.randrange(4, 10)):
+                algorithm = rng.choice(("bfs", "sssp", "sswp", "pr", "cc"))
+                name = "w" if algorithm in ("sssp", "sswp") else rng.choice(
+                    ("w", "uw")
+                )
+                transform = (
+                    rng.choice(("auto", "virtual", "virtual+"))
+                    if algorithm in ("pr", "bc")
+                    else rng.choice(("auto", "udt", "virtual", "none"))
+                )
+                k = rng.choice((None, 4, 12))
+                if algorithm in ("pr", "cc"):
+                    requests.append(
+                        QueryRequest(
+                            algorithm, name,
+                            transform=transform, degree_bound=k,
+                        )
+                    )
+                else:
+                    count = rng.choice((1, 1, 1, 3))
+                    sources = tuple(
+                        rng.randrange(graph.num_nodes) for _ in range(count)
+                    )
+                    requests.append(
+                        QueryRequest(
+                            algorithm, name, sources=sources,
+                            transform=transform, degree_bound=k,
+                        )
+                    )
+            return requests
+
+        # scalar reference: one request at a time, no coalescing
+        def scalar(request):
+            clone = QueryRequest(
+                request.algorithm, request.graph, sources=request.sources,
+                transform=request.transform, degree_bound=request.degree_bound,
+            )
+            with AnalyticsService(GraphCatalog(), workers=1) as solo:
+                for name, g in graphs.items():
+                    solo.register(name, g)
+                return solo.run(clone)
+
+        for backend in ("threads", "processes"):
+            rng = random.Random(20180324)  # same mixes on both backends
+            for round_index in range(3):
+                requests = random_mix(rng)
+                with AnalyticsService(
+                    GraphCatalog(), workers=2, backend=backend
+                ) as service:
+                    for name, g in graphs.items():
+                        service.register(name, g)
+                    batched = [
+                        t.result(120) for t in service.submit_batch(requests)
+                    ]
+                for request, result in zip(requests, batched):
+                    assert result.ok, (backend, round_index, result.error)
+                    reference = scalar(request)
+                    assert reference.ok
+                    assert set(result.values) == set(reference.values)
+                    for source in result.values:
+                        np.testing.assert_array_equal(
+                            result.values[source],
+                            reference.values[source],
+                            err_msg=(
+                                f"{backend} round {round_index}: "
+                                f"{request.algorithm} on {request.graph} "
+                                f"source {source} diverged from scalar path"
+                            ),
+                        )
 
     def test_multi_source_request_values_keyed_by_source(self, graph):
         request = QueryRequest("sssp", "g", sources=(4, 8))
