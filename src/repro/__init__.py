@@ -30,7 +30,34 @@ from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import rmat
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Installed package metadata when available, else the source tree.
+
+    A deployed front door must be identifiable (``python -m repro
+    --version``, ``GET /v1/healthz``), and the number must come from
+    *one* place: the installed distribution's metadata.  Running from
+    a source checkout without an install falls back to the last known
+    version, marked as such.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "1.0.0+src"
+
+
+__version__ = _detect_version()
+
+
+def version_string() -> str:
+    """The one-line identity every surface reports.
+
+    The same string everywhere: ``python -m repro --version`` and the
+    HTTP API's ``GET /v1/healthz`` (so an operator can match a
+    deployed front door to a checkout).
+    """
+    return f"repro {__version__}"
 
 __all__ = [
     "CSRGraph",

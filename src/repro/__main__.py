@@ -294,11 +294,77 @@ def cmd_serve_trace(args) -> int:
     return 0
 
 
+def _parse_host_port(spec: str) -> tuple:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise TigrError(
+            f"--http expects HOST:PORT (port 0 picks one), got {spec!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_serve_http(args) -> int:
+    """``serve --http``: front the service with the HTTP/JSON API."""
+    from repro.service import AnalyticsService, GraphCatalog
+    from repro.service.api import run_server
+
+    host, port = _parse_host_port(args.http)
+    graphs = {}
+    if args.graph is not None:
+        graphs[args.graph] = _load(args.graph, scale=args.scale)
+    if args.trace is not None:
+        from repro.service import load_trace, resolve_trace_graphs
+
+        trace = load_trace(args.trace, on_malformed=args.malformed)
+        graphs = resolve_trace_graphs(trace, overrides=graphs)
+    if not graphs:
+        raise TigrError(
+            "serve --http needs a graph argument and/or --trace with "
+            "graph recipes, else every query would answer 404"
+        )
+    catalog = GraphCatalog(
+        memory_budget_bytes=args.cache_mb * 1024 * 1024,
+        spill_dir=args.spill_dir,
+    )
+    with AnalyticsService(
+        catalog, workers=args.workers, backend=args.backend,
+        queue_size=args.queue_size, default_timeout_s=args.timeout,
+    ) as service:
+        for name, graph in graphs.items():
+            service.register(name, graph)
+
+        def ready(bound_host: str, bound_port: int) -> None:
+            address = f"{bound_host}:{bound_port}"
+            print(f"serving {', '.join(sorted(graphs))} on http://{address} "
+                  f"({service.backend} backend, {service.workers} workers); "
+                  f"Ctrl-C drains and exits", flush=True)
+            if args.http_ready_file:
+                with open(args.http_ready_file, "w", encoding="utf-8") as fh:
+                    fh.write(address + "\n")
+
+        run_server(
+            service,
+            ready_callback=ready,
+            host=host,
+            port=port,
+            auth_tokens=tuple(args.auth_token or ()),
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+        )
+        print("service metrics:")
+        for key, value in service.metrics.summary().items():
+            print(f"  {key:28s} {value:.4g}"
+                  if isinstance(value, float) else f"  {key:28s} {value}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import random
 
     from repro.service import AnalyticsService, GraphCatalog, QueryRequest
 
+    if args.http is not None:
+        return cmd_serve_http(args)
     if args.trace is not None:
         return cmd_serve_trace(args)
     if args.graph is None:
@@ -359,9 +425,15 @@ def cmd_serve(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Tigr (ASPLOS'18) reproduction toolkit.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=repro.version_string(),
+        help="print the version (the same string GET /v1/healthz reports)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -434,7 +506,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="SRC",
                    help="replay a recorded JSONL trace instead of the "
                         "synthetic workload; SRC is a path, '-' (stdin), "
-                        "or tcp://host:port (docs/service.md)")
+                        "or tcp://host:port (docs/service.md); with "
+                        "--http, only the header's graph recipes are used")
+    p.add_argument("--http", default=None, metavar="HOST:PORT",
+                   help="serve the HTTP/JSON API instead of a local "
+                        "workload (port 0 picks a free one; docs/http-api.md)")
+    p.add_argument("--auth-token", action="append", default=None,
+                   metavar="TOKEN",
+                   help="accepted bearer token for --http (repeatable; "
+                        "no tokens disables auth)")
+    p.add_argument("--rate-limit", type=float, default=None, metavar="RPS",
+                   help="per-client requests/second for --http "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=int, default=16,
+                   help="token-bucket depth for --rate-limit (default 16)")
+    p.add_argument("--http-ready-file", default=None, metavar="PATH",
+                   help="write the bound HOST:PORT to PATH once listening "
+                        "(lets scripts use port 0 without a race)")
     p.add_argument("--record", default=None, metavar="OUT",
                    help="record served traffic (synthetic or replayed) "
                         "plus result digests to OUT as a replayable trace")

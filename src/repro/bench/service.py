@@ -333,8 +333,40 @@ def service_trace_replay(
             digests_checked=summary["digests_checked"],
             digests_matched=summary["digests_matched"],
         )
+    # -- replay-http: same trace again, through the network edge -------
+    from repro.service import load_trace
+    from repro.service.api import ThreadedApiServer, replay_trace_http
+
+    trace = load_trace(io.StringIO(trace_text))
+    with AnalyticsService(
+        GraphCatalog(), workers=workers, queue_size=max(128, num_queries),
+    ) as service:
+        service.register(dataset, graph)
+        with ThreadedApiServer(service) as handle:
+            replay = replay_trace_http(
+                trace, handle.address, batch=batch, check_graphs=True,
+            )
+        summary = replay.summary()
+        assert replay.ok, "\n".join(str(m) for m in replay.mismatches)
+        metrics = service.metrics.summary()
+        report.add_row(
+            phase="replay-http",
+            backend="threads",
+            queries=replay.requests_submitted,
+            seconds=replay.elapsed_s,
+            qps=replay.qps,
+            digests_checked=summary["digests_checked"],
+            digests_matched=summary["digests_matched"],
+            http_p50_ms=metrics["http_p50_ms"],
+            http_p95_ms=metrics["http_p95_ms"],
+            http_rate_limited=metrics["http_rate_limited"],
+        )
+
     report.extras["replay_threads_vs_record"] = (
         report.rows[1]["qps"] / report.rows[0]["qps"]
+    )
+    report.extras["replay_http_vs_threads"] = (
+        report.rows[3]["qps"] / report.rows[1]["qps"]
     )
     return report
 

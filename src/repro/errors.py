@@ -70,6 +70,42 @@ class ServiceError(TigrError):
     """
 
 
+class ServiceOverloadError(ServiceError):
+    """The service refused admission because it is at capacity.
+
+    Raised for a non-blocking (or timed-out) submission against a full
+    queue — the backpressure contract made typed, so network front
+    ends can map overload to a retryable status (HTTP 503 with a
+    ``Retry-After`` hint) instead of pattern-matching message text.
+    ``retry_after_s`` is advisory: roughly how long a caller should
+    back off before resubmitting.  Subclasses :class:`ServiceError` so
+    existing blanket handlers keep working.
+    """
+
+    def __init__(self, reason: str, *, retry_after_s: float = 1.0) -> None:
+        self.reason = reason
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(reason)
+
+
+class UnknownGraphError(ServiceError):
+    """A request referenced a graph the service has not registered.
+
+    Carries the offending reference so front ends can map it to a
+    "resource not found" status (HTTP 404) with a machine-readable
+    body.  Subclasses :class:`ServiceError` so existing blanket
+    handlers keep working.
+    """
+
+    def __init__(self, name: str, *, registered=()) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        super().__init__(
+            f"unknown graph {name!r}; registered: "
+            + (", ".join(sorted(self.registered)) or "(none)")
+        )
+
+
 class WorkerLost(ServiceError):
     """A process-pool worker died or stopped responding mid-batch.
 

@@ -27,14 +27,19 @@ graph library's value is its reusable runtime, not its kernels alone):
   :func:`replay_trace` re-submits a recorded stream and verifies
   per-request result digests, making every captured trace a
   deterministic regression test that runs identically under both
-  backends (see ``docs/testing.md``).
+  backends (see ``docs/testing.md``);
+* :mod:`repro.service.api` — the HTTP/JSON front door (asyncio
+  bridge, stdlib HTTP server, auth/rate-limit middleware, and a
+  trace-replaying client), speaking the same trace-v1 wire schema;
+  see ``docs/http-api.md``.  Imported lazily — ``import
+  repro.service.api`` — so non-network users pay nothing for it.
 
-CLI: ``python -m repro query`` (one-shot) and ``python -m repro
-serve`` (synthetic workload driver, or trace-driven via
-``--trace``/``--record``).
+CLI: ``python -m repro query`` (one-shot), ``python -m repro serve``
+(synthetic workload driver, trace-driven via ``--trace``/``--record``,
+or the network front door via ``--http HOST:PORT``).
 """
 
-from repro.errors import WorkerLost
+from repro.errors import ServiceOverloadError, UnknownGraphError, WorkerLost
 from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
 from repro.service.batching import QueryBatch, group_requests
 from repro.service.catalog import CatalogStats, GraphCatalog
@@ -55,6 +60,7 @@ from repro.service.ingest import (
     TraceResult,
     dataset_graph_entry,
     load_trace,
+    parse_request_payload,
     result_digest,
 )
 from repro.service.metrics import QueryRecord, ServiceMetrics, percentile
@@ -86,6 +92,7 @@ __all__ = [
     "QueryTicket",
     "ReplayReport",
     "ServiceMetrics",
+    "ServiceOverloadError",
     "StageTimings",
     "TRACE_VERSION",
     "Trace",
@@ -95,6 +102,7 @@ __all__ = [
     "TraceRequest",
     "TraceResult",
     "TransformArtifact",
+    "UnknownGraphError",
     "WorkerLost",
     "dataset_graph_entry",
     "default_service",
@@ -103,6 +111,7 @@ __all__ = [
     "group_requests",
     "load_artifact",
     "load_trace",
+    "parse_request_payload",
     "percentile",
     "plan_query",
     "record_trace",

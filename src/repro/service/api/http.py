@@ -1,0 +1,243 @@
+"""Minimal HTTP/1.1 over :mod:`asyncio` streams — no dependencies.
+
+The front door speaks just enough HTTP for a JSON API: request-line +
+headers + ``Content-Length`` bodies in, fixed-length JSON or chunked
+NDJSON streams out, keep-alive connections.  Deliberately *not*
+implemented: request chunked transfer encoding (rejected with 411 —
+every client this repo ships sends ``Content-Length``), multipart,
+compression, TLS (terminate it in front, see ``docs/http-api.md``).
+
+Parsing is strict where sloppiness would hide bugs (malformed request
+lines, oversized headers/bodies raise :class:`BadRequest` with the
+status to send) and tolerant where HTTP requires it (header case,
+optional whitespace).  Everything here is transport; routing, auth,
+and wire-schema concerns live in the sibling modules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request-side guard rails (bytes).
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+DEFAULT_MAX_BODY = 64 * 1024 * 1024
+
+#: the subset of status reasons this API emits.
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+SERVER_NAME = "repro-api"
+
+
+class BadRequest(Exception):
+    """A request the transport layer refuses; carries the status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request (headers lower-cased, query decoded)."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    client: str = ""
+    #: middleware scratch space (auth principal, parsed payloads, …).
+    context: dict = field(default_factory=dict)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body as one JSON value (:class:`BadRequest` on junk)."""
+        if not self.body:
+            raise BadRequest(400, "request body is empty; expected JSON")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(
+                400, f"request body is not valid JSON ({exc.msg})"
+            ) from exc
+
+    def ndjson_lines(self) -> list:
+        """Non-blank body lines (the NDJSON batch wire format)."""
+        text = self.body.decode("utf-8", errors="replace")
+        return [line for line in text.splitlines() if line.strip()]
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = DEFAULT_MAX_BODY,
+    client: str = "",
+) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`BadRequest` for anything the server should answer
+    with a 4xx before closing, ``asyncio.IncompleteReadError`` /
+    ``ConnectionError`` for a peer that vanished mid-request.
+    """
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests: keep-alive ended
+        raise
+    except asyncio.LimitOverrunError:
+        raise BadRequest(400, "request line too long") from None
+    if len(request_line) > MAX_REQUEST_LINE:
+        raise BadRequest(400, "request line too long")
+    parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(400, f"malformed request line {parts!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest(400, "header block too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise BadRequest(
+            411, "chunked request bodies are not supported; "
+                 "send Content-Length"
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest(400, "Content-Length is not an integer") from None
+        if length < 0:
+            raise BadRequest(400, "Content-Length is negative")
+        if length > max_body:
+            raise BadRequest(
+                413, f"body of {length} bytes exceeds the {max_body} limit"
+            )
+        body = await reader.readexactly(length)
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return HttpRequest(
+        method=method,
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        client=client,
+    )
+
+
+def _head(
+    status: int,
+    headers: Dict[str, str],
+) -> bytes:
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}"]
+    base = {"server": SERVER_NAME, **headers}
+    for name, value in base.items():
+        lines.append(f"{name.title()}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+@dataclass
+class Response:
+    """A fixed-length response a handler returns to the server loop."""
+
+    status: int
+    payload: Optional[dict] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> Tuple[bytes, int]:
+        """Full wire bytes + body size (for metrics)."""
+        body = b""
+        headers = dict(self.headers)
+        if self.payload is not None:
+            body = (
+                json.dumps(self.payload, separators=(", ", ": ")) + "\n"
+            ).encode("utf-8")
+            headers.setdefault("content-type", "application/json")
+        headers["content-length"] = str(len(body))
+        return _head(self.status, headers) + body, len(body)
+
+
+class NdjsonStream:
+    """A chunked ``application/x-ndjson`` response, one JSON per line.
+
+    The streaming half of the wire contract: the head goes out before
+    the first result exists, each :meth:`write` is one chunk flushed
+    to the client immediately (first line lands while later tickets
+    are still in flight), and :meth:`end` terminates the chunked body
+    while keeping the connection reusable.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.bytes_sent = 0
+        self.lines_sent = 0
+
+    async def start(self, *, status: int = 200) -> None:
+        self._writer.write(_head(status, {
+            "content-type": "application/x-ndjson",
+            "transfer-encoding": "chunked",
+        }))
+        await self._writer.drain()
+
+    async def write(self, payload: dict) -> None:
+        line = (
+            json.dumps(payload, separators=(", ", ": ")) + "\n"
+        ).encode("utf-8")
+        chunk = f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n"
+        self._writer.write(chunk)
+        self.bytes_sent += len(line)
+        self.lines_sent += 1
+        await self._writer.drain()
+
+    async def end(self) -> None:
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+async def send_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> int:
+    """Write a fixed-length response; returns body bytes sent."""
+    wire, body_bytes = response.encode()
+    writer.write(wire)
+    await writer.drain()
+    return body_bytes

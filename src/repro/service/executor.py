@@ -51,6 +51,7 @@ Design points, each of which the tests pin down:
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import multiprocessing
 import os
@@ -63,7 +64,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ServiceError, TigrError, WorkerLost
+from repro.errors import (
+    ServiceError,
+    ServiceOverloadError,
+    TigrError,
+    UnknownGraphError,
+    WorkerLost,
+)
 from repro.graph.csr import CSRGraph
 from repro.service.batching import QueryBatch, fan_out_per_request, group_requests
 from repro.service.catalog import GraphCatalog
@@ -117,6 +124,16 @@ class QueryTicket:
     request is still queued.  ``on_resolve`` is the executor's
     observation hook (trace recording); it runs after the result is
     set and must never raise into the worker loop.
+
+    A ticket is also **awaitable**: ``await ticket`` (or
+    :meth:`aresult`) suspends the calling coroutine until a dispatcher
+    thread resolves it — no thread blocks per waiter, the resolution
+    is handed across with ``loop.call_soon_threadsafe``.  That is the
+    bridge the HTTP front door (:mod:`repro.service.api`) is built on:
+    one event loop can hold thousands of pending tickets open.
+    :meth:`add_done_callback` is the underlying primitive (a callback
+    registered after resolution fires immediately, on the caller's
+    thread).
     """
 
     def __init__(
@@ -133,6 +150,7 @@ class QueryTicket:
         self._cancelled = False
         self._claimed = False
         self._on_resolve = on_resolve
+        self._callbacks: List[Callable[["QueryTicket", QueryResult], None]] = []
 
     @property
     def deadline(self) -> float:
@@ -175,6 +193,69 @@ class QueryTicket:
         assert self._result is not None
         return self._result
 
+    # -- asyncio side --------------------------------------------------
+    def add_done_callback(
+        self, fn: Callable[["QueryTicket", QueryResult], None]
+    ) -> None:
+        """Run ``fn(ticket, result)`` once the result exists.
+
+        Registered before resolution, ``fn`` runs on the dispatcher
+        thread that resolves the ticket; registered after, it runs
+        immediately on the calling thread.  Exceptions are swallowed —
+        observation must never fail serving (same contract as
+        ``on_resolve``).
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        self._run_callback(fn, self._result)
+
+    async def aresult(self, timeout: Optional[float] = None) -> QueryResult:
+        """Awaitable :meth:`result`: suspends, never blocks a thread.
+
+        Must be called from a running event loop.  ``timeout`` bounds
+        the wait the same way :meth:`result`'s does, raising the same
+        :class:`ServiceError`.
+        """
+        if self._event.is_set():
+            assert self._result is not None
+            return self._result
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[QueryResult]" = loop.create_future()
+
+        def deliver(_ticket: "QueryTicket", result: QueryResult) -> None:
+            def set_result() -> None:
+                if not future.done():
+                    future.set_result(result)
+
+            try:
+                loop.call_soon_threadsafe(set_result)
+            except RuntimeError:
+                pass  # loop already closed; nobody is awaiting
+
+        self.add_done_callback(deliver)
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"request {self.request.request_id} not finished "
+                f"within {timeout}s wait"
+            ) from None
+
+    def __await__(self):
+        return self.aresult().__await__()
+
+    def _run_callback(
+        self, fn: Callable[["QueryTicket", QueryResult], None], result
+    ) -> None:
+        try:
+            fn(self, result)
+        except Exception:
+            pass  # observation must never fail serving
+
     # -- worker side ---------------------------------------------------
     def _claim(self) -> bool:
         with self._lock:
@@ -193,7 +274,11 @@ class QueryTicket:
             except Exception:
                 # Observation (trace capture) must never fail serving.
                 pass
-        self._event.set()
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._run_callback(fn, result)
 
 
 @dataclass
@@ -450,6 +535,11 @@ class AnalyticsService:
         for thread in self._workers:
             thread.start()
 
+    @property
+    def workers(self) -> int:
+        """Dispatcher-thread count (and process-pool size, if any)."""
+        return len(self._workers)
+
     # ------------------------------------------------------------------
     # Graph registry
     # ------------------------------------------------------------------
@@ -466,10 +556,7 @@ class AnalyticsService:
             return request.graph
         graph = self._graphs.get(request.graph)
         if graph is None:
-            raise ServiceError(
-                f"unknown graph {request.graph!r}; registered: "
-                + (", ".join(sorted(self._graphs)) or "(none)")
-            )
+            raise UnknownGraphError(request.graph, registered=self._graphs)
         return graph
 
     # ------------------------------------------------------------------
@@ -532,7 +619,7 @@ class AnalyticsService:
             except queue.Full:
                 for ticket in item.tickets:
                     ticket.cancel()
-                raise ServiceError(
+                raise ServiceOverloadError(
                     f"submission queue full ({self._queue.maxsize} pending); "
                     f"retry later or raise queue_size"
                 ) from None
@@ -586,6 +673,33 @@ class AnalyticsService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait until every queued work item has been processed.
+
+        The graceful-shutdown half-step the HTTP front door needs:
+        stop *admitting* first (close the listener), then ``drain()``
+        so in-flight tickets resolve, then :meth:`close`.  Unlike
+        :meth:`close` the service still accepts work afterwards.
+        Returns ``False`` if ``timeout_s`` elapsed with work still in
+        flight (``None`` waits indefinitely).
+        """
+        deadline = (
+            None if timeout_s is None else time.perf_counter() + timeout_s
+        )
+        # queue.join() with a deadline: wait on the queue's own
+        # all-tasks-done condition so "drained" means the dispatcher
+        # called task_done, not merely that the queue looks empty.
+        with self._queue.all_tasks_done:
+            while self._queue.unfinished_tasks:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._queue.all_tasks_done.wait(remaining)
+        return True
+
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting work and (optionally) join the workers.
 

@@ -253,6 +253,35 @@ def parse_trace_line(
     )
 
 
+def parse_request_payload(
+    payload: dict,
+    *,
+    line: int = 0,
+    source: str = "",
+    default_id: Optional[int] = None,
+) -> TraceRequest:
+    """An already-decoded JSON object -> validated :class:`TraceRequest`.
+
+    The entry point the HTTP front door (:mod:`repro.service.api`)
+    shares with the trace reader: one schema, one validator, whether a
+    request line arrives from a JSONL file or a ``POST /v1/query``
+    body.  A missing ``"type"`` is tolerated (an HTTP body *is* a
+    request); any other type is rejected.  ``default_id`` fills in a
+    missing ``"id"`` (HTTP callers need not correlate); without it the
+    field stays required, as in a trace file.
+    """
+    kind = payload.get("type", "request")
+    if kind != "request":
+        raise TraceFormatError(
+            f"expected a request object, got type {kind!r}",
+            line=line,
+            source=source,
+        )
+    if default_id is not None and "id" not in payload:
+        payload = {**payload, "id": int(default_id)}
+    return _parse_request(payload, line, source)
+
+
 def _parse_request(payload: dict, line: int, source: str) -> TraceRequest:
     algorithm = _require(payload, "algorithm", line, source)
     if algorithm not in ALGORITHMS:
@@ -424,7 +453,12 @@ class TraceReader:
                 )
             self._socket = socket.create_connection((host, int(port)))
             self._owns_stream = True
-            return self._socket.makefile("r", encoding="utf-8")
+            # Binary mode: the reader decodes per line, so a peer that
+            # disconnects mid-record (truncated final line, or a line
+            # cut inside a multi-byte UTF-8 sequence) surfaces through
+            # the malformed-line policy instead of as a raw
+            # UnicodeDecodeError from the stream itself.
+            return self._socket.makefile("rb")
         try:
             stream = open(source, "r", encoding="utf-8")
         except OSError as exc:
@@ -438,10 +472,46 @@ class TraceReader:
     def __iter__(self) -> Iterator[TraceEvent]:
         return self.events()
 
+    def _iter_text(self) -> Iterator[str]:
+        """Decoded lines, counting ``lines_read`` as they arrive.
+
+        Socket sources stream bytes and decode here, so two
+        disconnect artifacts follow the malformed-line policy instead
+        of escaping as raw decode errors: a final line with no
+        terminating newline (the peer died mid-record — never valid on
+        a line-oriented wire, unlike the last line of a file) and a
+        line that is not valid UTF-8 (cut inside a multi-byte
+        sequence).
+        """
+        if self._socket is None:
+            for text in self._stream:
+                self.lines_read += 1
+                yield text
+            return
+        for raw in self._stream:
+            self.lines_read += 1
+            if not raw.endswith(b"\n"):
+                self._malformed(
+                    f"truncated final line ({len(raw)} bytes; "
+                    f"peer disconnected mid-record)"
+                )
+                return
+            try:
+                yield raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                self._malformed(f"line is not valid UTF-8 ({exc.reason})")
+
+    def _malformed(self, reason: str) -> None:
+        """Apply the malformed-line policy to a non-parse defect."""
+        if self.on_malformed == "strict":
+            raise TraceFormatError(
+                reason, line=self.lines_read, source=self.name
+            )
+        self.lines_skipped += 1
+
     def events(self) -> Iterator[TraceEvent]:
         """Yield every event, applying the malformed-line policy."""
-        for text in self._stream:
-            self.lines_read += 1
+        for text in self._iter_text():
             try:
                 event = parse_trace_line(
                     text, line=self.lines_read, source=self.name

@@ -89,6 +89,15 @@ class ServiceMetrics:
         self.worker_restarts = 0
         self.ipc_bytes = 0
         self.hydrate_hits = 0
+        #: HTTP front-door counters (all zero without an attached
+        #: :class:`~repro.service.api.server.ApiServer`).
+        self.http_requests = 0
+        self.http_2xx = 0
+        self.http_4xx = 0
+        self.http_5xx = 0
+        self.http_rate_limited = 0
+        self.http_bytes_sent = 0
+        self._http_seconds: List[float] = []
         #: trace-capture counters (zero unless a recorder is attached).
         self.trace_requests = 0
         self.trace_results = 0
@@ -136,6 +145,31 @@ class ServiceMetrics:
         """Current IPC byte total (for per-batch deltas)."""
         with self._lock:
             return self.ipc_bytes
+
+    def http_observed(
+        self, status: int, seconds: float, *, bytes_sent: int = 0
+    ) -> None:
+        """Account one served HTTP request (any route, any status)."""
+        with self._lock:
+            self.http_requests += 1
+            if 200 <= status < 300:
+                self.http_2xx += 1
+            elif 400 <= status < 500:
+                self.http_4xx += 1
+            elif status >= 500:
+                self.http_5xx += 1
+            self.http_bytes_sent += int(bytes_sent)
+            self._http_seconds.append(seconds)
+
+    def http_rate_limit_rejected(self) -> None:
+        """A request bounced off the token-bucket rate limiter."""
+        with self._lock:
+            self.http_rate_limited += 1
+
+    def http_latency_percentile(self, fraction: float) -> float:
+        """Server-side HTTP request latency percentile (seconds)."""
+        with self._lock:
+            return percentile(self._http_seconds, fraction)
 
     def trace_observed(self, *, requests: int = 0, results: int = 0) -> None:
         """Account trace-capture activity (attached recorder)."""
@@ -217,6 +251,16 @@ class ServiceMetrics:
                 "worker_restarts": self.worker_restarts,
                 "ipc_bytes": self.ipc_bytes,
                 "hydrate_hits": self.hydrate_hits,
+                # HTTP front-door telemetry; identically zero when no
+                # ApiServer fronts this service.
+                "http_requests": self.http_requests,
+                "http_2xx": self.http_2xx,
+                "http_4xx": self.http_4xx,
+                "http_5xx": self.http_5xx,
+                "http_rate_limited": self.http_rate_limited,
+                "http_bytes_sent": self.http_bytes_sent,
+                "http_p50_ms": percentile(self._http_seconds, 0.5) * 1e3,
+                "http_p95_ms": percentile(self._http_seconds, 0.95) * 1e3,
                 # trace/replay telemetry; zero unless a recorder is
                 # attached or a replay verified against this service.
                 "trace_requests": self.trace_requests,

@@ -391,3 +391,138 @@ class TestDatasetGraphEntry:
         )
         assert entry["seed"] == 5
         assert entry["fingerprint"] == "ab"
+
+
+class TestSocketDisconnectHardening:
+    """A peer dying mid-record must hit the malformed policy, not
+    escape as a raw decode error (``tcp://`` sources only — a file's
+    last line may legitimately lack a newline)."""
+
+    def _serve(self, payload: bytes):
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self):
+                self.request.sendall(payload)
+
+        server = socketserver.TCPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.handle_request)
+        thread.start()
+        return server, thread
+
+    def _read_all(self, payload, *, on_malformed):
+        server, thread = self._serve(payload)
+        port = server.server_address[1]
+        try:
+            with TraceReader(
+                f"tcp://127.0.0.1:{port}", on_malformed=on_malformed
+            ) as reader:
+                return list(reader), reader
+        finally:
+            thread.join()
+            server.server_close()
+
+    def test_truncated_final_line_skips(self):
+        payload = (HEADER_LINE + "\n" + REQUEST_LINE + "\n").encode()
+        payload += RESULT_LINE[: len(RESULT_LINE) // 2].encode()  # cut mid-record
+        events, reader = self._read_all(payload, on_malformed="skip")
+        assert len(events) == 2  # header + request survived
+        assert reader.lines_skipped == 1
+
+    def test_truncated_final_line_strict(self):
+        payload = (HEADER_LINE + "\n").encode() + REQUEST_LINE[:10].encode()
+        server, thread = self._serve(payload)
+        port = server.server_address[1]
+        try:
+            with TraceReader(f"tcp://127.0.0.1:{port}") as reader:
+                with pytest.raises(TraceFormatError, match="truncated final line"):
+                    list(reader)
+        finally:
+            thread.join()
+            server.server_close()
+
+    def test_undecodable_line_skips(self):
+        # a line cut inside a multi-byte UTF-8 sequence, then re-joined
+        # with later traffic: invalid bytes, but newline-terminated
+        payload = (HEADER_LINE + "\n").encode()
+        payload += b'{"type": "request\xc3\x28"}\n'
+        payload += (REQUEST_LINE + "\n").encode()
+        events, reader = self._read_all(payload, on_malformed="skip")
+        assert len(events) == 2
+        assert reader.lines_skipped == 1
+        assert isinstance(events[1], TraceRequest)
+
+    def test_undecodable_line_strict(self):
+        payload = (HEADER_LINE + "\n").encode() + b"\xff\xfe\n"
+        server, thread = self._serve(payload)
+        port = server.server_address[1]
+        try:
+            with TraceReader(f"tcp://127.0.0.1:{port}") as reader:
+                with pytest.raises(TraceFormatError, match="not valid UTF-8"):
+                    list(reader)
+        finally:
+            thread.join()
+            server.server_close()
+
+    def test_file_final_line_without_newline_still_parses(self, tmp_path):
+        # the policy is socket-specific: a file ending without a
+        # trailing newline is ordinary and must keep parsing
+        path = tmp_path / "t.jsonl"
+        path.write_text(HEADER_LINE + "\n" + REQUEST_LINE)  # no final \n
+        with TraceReader(str(path)) as reader:
+            events = list(reader)
+        assert len(events) == 2
+        assert reader.lines_skipped == 0
+
+
+class TestRecorderSwapUnderLoad:
+    """Swapping recorders mid-stream must never drop or double-record
+    a result: attach replaces atomically, so every resolution lands in
+    exactly one sink."""
+
+    def test_attach_detach_swap_exactly_once(self, powerlaw_graph):
+        sinks = [io.StringIO(), io.StringIO()]
+        recorders = [TraceRecorder(sink) for sink in sinks]
+        stop = threading.Event()
+
+        with AnalyticsService(GraphCatalog(), workers=2) as service:
+            service.register("g", powerlaw_graph)
+            service.attach_recorder(recorders[0])
+
+            def swapper():
+                flip = 0
+                while not stop.is_set():
+                    flip += 1
+                    service.attach_recorder(recorders[flip % 2])
+
+            thread = threading.Thread(target=swapper)
+            thread.start()
+            try:
+                requests = [
+                    QueryRequest.single("bfs", "g", s % 16) for s in range(64)
+                ]
+                tickets = service.submit_batch(requests)
+                results = [t.result(60.0) for t in tickets]
+            finally:
+                stop.set()
+                thread.join()
+            service.detach_recorder()
+            assert all(r.ok for r in results)
+
+        recorded_ids = []
+        for sink in sinks:
+            trace = load_trace(io.StringIO(sink.getvalue()))
+            recorded_ids.extend(trace.results)
+        # exactly once across the union of sinks: nothing dropped
+        # (every request resolved with some recorder attached) and
+        # nothing doubled (one resolution hook, one attached recorder)
+        assert sorted(recorded_ids) == sorted(r.request_id for r in requests)
+
+    def test_detach_specific_recorder_only_if_attached(self, powerlaw_graph):
+        first, second = TraceRecorder(io.StringIO()), TraceRecorder(io.StringIO())
+        with AnalyticsService(GraphCatalog(), workers=1) as service:
+            service.register("g", powerlaw_graph)
+            service.attach_recorder(first)
+            service.attach_recorder(second)  # replaces first
+            service.detach_recorder(first)   # no-op: first not attached
+            assert service.run(QueryRequest.single("bfs", "g", 0)).ok
+        assert second.results_recorded == 1
+        assert first.results_recorded == 0
