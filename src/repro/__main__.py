@@ -560,12 +560,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to scan (default: the repro package)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="output format (sarif targets GitHub code scanning)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable findings")
+                   help="shorthand for --format json")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero on any error-severity finding")
     p.add_argument("--rule", action="append", default=None, metavar="ID",
-                   help="only report the given rule id (repeatable)")
+                   help="only report matching rules: ids, comma lists, or "
+                        "globs like 'ASYNC*' (repeatable)")
     p.add_argument("--no-suppress", action="store_true",
                    help="report findings even on '# analyze: ignore' lines")
     p.set_defaults(func=cmd_analyze)

@@ -1,6 +1,6 @@
 """Static analysis over the repo's own sources (``repro analyze``).
 
-Three checker families, each enforcing an invariant the paper states
+Four checker families, each enforcing an invariant the paper states
 in prose and the code previously only promised in docstrings:
 
 * :mod:`repro.analyze.programs` — every vertex program's (relax,
@@ -14,17 +14,33 @@ in prose and the code previously only promised in docstrings:
 * :mod:`repro.analyze.scatter` — buffered numpy writes through
   possibly-repeating index arrays (the lost-fold race ``ufunc.at``
   exists to avoid) are rejected outside the sanctioned
-  :meth:`~repro.engine.program.ReduceOp.scatter` path.
+  :meth:`~repro.engine.program.ReduceOp.scatter` path;
+* :mod:`repro.analyze.concurrency` — the asyncio/thread seam
+  (ASYNC001-005, LOCK004), checked over the project-wide call graph
+  in :mod:`repro.analyze.callgraph`: blocking calls transitively
+  reachable from ``async def``s, thread locks held across ``await``,
+  dropped coroutines, thread-side touches of loop-affine objects,
+  unmapped handler errors, and guarded-state mutation.
 
-See ``docs/static-analysis.md`` for the rule catalog and the per-line
+All passes share one :class:`~repro.analyze.runner.AnalysisContext`
+(one parse per file, one lazily built call graph).  See
+``docs/static-analysis.md`` for the rule catalog and the per-line
 suppression syntax.
 """
 
+from repro.analyze.callgraph import CallGraph
 from repro.analyze.report import RULES, Finding, Report, Rule
-from repro.analyze.runner import analyze_paths, default_root, main
+from repro.analyze.runner import (
+    AnalysisContext,
+    analyze_paths,
+    default_root,
+    main,
+)
 
 __all__ = [
     "RULES",
+    "AnalysisContext",
+    "CallGraph",
     "Finding",
     "Report",
     "Rule",

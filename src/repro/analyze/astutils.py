@@ -53,6 +53,13 @@ def iter_python_files(root: str) -> Iterator[str]:
                 yield os.path.join(dirpath, name)
 
 
+#: process-wide parse cache keyed by realpath; entries are invalidated
+#: by (mtime_ns, size) so a rewritten file re-parses.  Every rule pass
+#: in a run — and every run in a long-lived process — shares one tree
+#: per file.
+_PARSE_CACHE: Dict[str, Tuple[Tuple[int, int], SourceFile]] = {}
+
+
 def load_sources(paths: Sequence[str]) -> List[SourceFile]:
     """Load every parsable Python file under the given roots, deduplicated."""
     seen = set()
@@ -63,10 +70,38 @@ def load_sources(paths: Sequence[str]) -> List[SourceFile]:
             if real in seen:
                 continue
             seen.add(real)
+            try:
+                stat = os.stat(real)
+                stamp = (stat.st_mtime_ns, stat.st_size)
+            except OSError:
+                continue
+            cached = _PARSE_CACHE.get(real)
+            if cached is not None and cached[0] == stamp:
+                sources.append(cached[1])
+                continue
             source = SourceFile.load(path)
             if source is not None:
+                _PARSE_CACHE[real] = (stamp, source)
                 sources.append(source)
     return sources
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name inferred from ``__init__.py`` files on disk.
+
+    Walks up from ``path`` while each parent directory is a package;
+    files outside any package (fixtures, scripts) get their bare stem.
+    """
+    path = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    parent = os.path.dirname(path)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if not parts:
+        parts = [os.path.basename(os.path.dirname(path)) or stem]
+    return ".".join(reversed(parts))
 
 
 # ----------------------------------------------------------------------

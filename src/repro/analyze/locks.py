@@ -33,9 +33,9 @@ from repro.analyze.report import Finding
 _LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
 
 
-def check_locks(sources: List[SourceFile]) -> List[Finding]:
+def check_locks(context) -> List[Finding]:
     findings: List[Finding] = []
-    for source in sources:
+    for source in context.sources:
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ClassDef):
                 findings.extend(_check_class(source, node))

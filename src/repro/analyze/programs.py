@@ -83,11 +83,11 @@ class ProgramFacts:
         return self.reduce_member in _IDEMPOTENT_REDUCES
 
 
-def check_programs(sources: List[SourceFile]) -> List[Finding]:
+def check_programs(context) -> List[Finding]:
     """Run the split-safety family over the scanned sources."""
     findings: List[Finding] = []
     programs: List[ProgramFacts] = []
-    for source in sources:
+    for source in context.sources:
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ClassDef) and (
                 set(base_names(node)) & _PROGRAM_BASES

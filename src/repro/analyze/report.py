@@ -22,7 +22,9 @@ comma-separated id list) silences only the named ones.
 
 from __future__ import annotations
 
+import fnmatch
 import json
+import os
 import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -134,6 +136,63 @@ RULES: Dict[str, Rule] = {
             "a fancy-indexed view) drops duplicate-index folds exactly "
             "like an augmented assignment.",
         ),
+        Rule(
+            "ASYNC001",
+            "error",
+            "blocking call transitively reachable from an async def",
+            "The HTTP tier is one event loop; any `time.sleep`, blocking "
+            "`queue.Queue` op, lock acquire, file/socket I/O, or "
+            "subprocess wait on a call path from an `async def` stalls "
+            "every in-flight request. Reachability is computed over the "
+            "project call graph, so the blocking call is flagged even "
+            "when it hides several sync frames deep.",
+        ),
+        Rule(
+            "ASYNC002",
+            "error",
+            "threading lock held across an await",
+            "An `await` inside `with <threading lock>:` parks the "
+            "coroutine while the lock stays held; a dispatcher thread "
+            "that needs the lock then deadlocks against the loop. Hold "
+            "thread locks only across straight-line sync code, or use "
+            "asyncio.Lock.",
+        ),
+        Rule(
+            "ASYNC003",
+            "error",
+            "coroutine call never awaited",
+            "Calling an `async def` returns a coroutine object; as a "
+            "bare expression statement the work silently never runs "
+            "(Python only warns at GC time). Await it, or wrap it in "
+            "asyncio.create_task.",
+        ),
+        Rule(
+            "ASYNC004",
+            "error",
+            "asyncio loop/future API touched from thread-side code",
+            "Event loops, futures, asyncio.Queue and asyncio.Event are "
+            "not thread-safe; dispatcher threads must marshal through "
+            "`loop.call_soon_threadsafe(...)` — the contract the "
+            "QueryTicket bridge is built on.",
+        ),
+        Rule(
+            "ASYNC005",
+            "error",
+            "async route handler without typed-error mapping",
+            "Every module that registers async handlers in a route "
+            "table must map the protocol taxonomy (`BadRequest`, "
+            "`TigrError`) through `error_response`, or failures surface "
+            "as dropped connections instead of typed wire errors.",
+        ),
+        Rule(
+            "LOCK004",
+            "error",
+            "guarded service state mutated outside its owning class",
+            "ServiceMetrics and the catalog guard every mutation with "
+            "their own lock; code that reaches into their attributes "
+            "from outside bypasses that lock and races the dispatcher "
+            "threads. Call the owning class's methods instead.",
+        ),
     ]
 }
 
@@ -206,6 +265,47 @@ def is_suppressed(finding: Finding, source_lines: List[str]) -> bool:
     return rules == () or finding.rule_id in rules
 
 
+def expand_rule_selectors(
+    selectors: Optional[Iterable[str]],
+) -> Optional[set]:
+    """Expand ``--rule`` selectors into a set of known rule ids.
+
+    Each selector may be a comma-separated list; items may be exact
+    ids (``ASYNC001``) or ``fnmatch`` patterns (``ASYNC*``,
+    ``LOCK00?``).  Raises :class:`ValueError` for an unknown id or a
+    pattern matching nothing.  ``None`` passes through (no filter).
+    """
+    if selectors is None:
+        return None
+    ids: set = set()
+    for raw in selectors:
+        for part in str(raw).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if any(ch in part for ch in "*?["):
+                matched = {
+                    rule_id
+                    for rule_id in RULES
+                    if fnmatch.fnmatchcase(rule_id, part)
+                }
+                if not matched:
+                    raise ValueError(
+                        f"unknown rule pattern {part!r}: matches no "
+                        f"registered rule"
+                    )
+                ids |= matched
+            elif part in RULES:
+                ids.add(part)
+            else:
+                raise ValueError(f"unknown rule id(s): {part}")
+    return ids
+
+
+#: pinned schema for ``--format sarif`` (SARIF 2.1.0).
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
 @dataclass
 class Report:
     """The full outcome of one analyzer run."""
@@ -214,6 +314,10 @@ class Report:
     files_scanned: int = 0
     #: findings dropped by per-line pragmas (counted for visibility).
     suppressed: int = 0
+    #: wall-clock seconds for the whole run.
+    elapsed_s: float = 0.0
+    #: per-phase wall-clock seconds (parse, callgraph, each checker).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def extend(self, findings: Iterable[Finding]) -> None:
         self.findings.extend(findings)
@@ -246,16 +350,88 @@ class Report:
                 "counts": self.counts(),
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),
+                "elapsed_s": round(self.elapsed_s, 6),
+                "timings": {
+                    phase: round(seconds, 6)
+                    for phase, seconds in sorted(self.timings.items())
+                },
                 "findings": [f.as_dict() for f in self.findings],
             },
             indent=2,
         )
 
+    def to_sarif(self) -> str:
+        """Render as a SARIF 2.1.0 log (one run, one result per finding)."""
+        rule_ids = sorted(RULES)
+        rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+        results = []
+        for finding in self.findings:
+            uri = os.path.relpath(finding.path).replace(os.sep, "/")
+            results.append(
+                {
+                    "ruleId": finding.rule_id,
+                    "ruleIndex": rule_index[finding.rule_id],
+                    "level": finding.severity,
+                    "message": {"text": finding.message},
+                    "locations": [
+                        {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": uri},
+                                "region": {
+                                    "startLine": finding.line,
+                                    "startColumn": max(1, finding.col + 1),
+                                },
+                            }
+                        }
+                    ],
+                }
+            )
+        import repro
+
+        log = {
+            "$schema": SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-analyze",
+                            "version": repro.__version__,
+                            "rules": [
+                                {
+                                    "id": rule_id,
+                                    "name": rule_id,
+                                    "shortDescription": {
+                                        "text": RULES[rule_id].title
+                                    },
+                                    "fullDescription": {
+                                        "text": RULES[rule_id].rationale
+                                    },
+                                    "defaultConfiguration": {
+                                        "level": RULES[rule_id].severity
+                                    },
+                                }
+                                for rule_id in rule_ids
+                            ],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(log, indent=2)
+
     def to_text(self) -> str:
         lines = [finding.format() for finding in self.findings]
+        wall = (
+            f"; wall {self.elapsed_s * 1000.0:.0f}ms"
+            if self.elapsed_s
+            else ""
+        )
         lines.append(
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
             f"in {self.files_scanned} file(s)"
             + (f"; {self.suppressed} suppressed" if self.suppressed else "")
+            + wall
         )
         return "\n".join(lines)

@@ -4,9 +4,16 @@
 ``main`` backs ``python -m repro analyze`` and the CI gate::
 
     python -m repro analyze                 # human listing, repo tree
-    python -m repro analyze --json          # machine-readable findings
+    python -m repro analyze --format json   # machine-readable findings
+    python -m repro analyze --format sarif  # GitHub code-scanning log
     python -m repro analyze --strict        # exit 1 on error findings
+    python -m repro analyze --rule 'ASYNC*,LOCK004'  # selector globs
     python -m repro analyze path/ other.py  # explicit roots
+
+Every rule pass shares one :class:`AnalysisContext`: files are parsed
+once (with a cross-run cache in :mod:`astutils`), and the project
+call graph is built lazily the first time a checker asks for it.
+Per-phase wall time lands in the report's ``timings``.
 """
 
 from __future__ import annotations
@@ -14,17 +21,44 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import repro
-from repro.analyze.astutils import load_sources
+from repro.analyze.astutils import SourceFile, load_sources
+from repro.analyze.callgraph import CallGraph
+from repro.analyze.concurrency import check_concurrency
 from repro.analyze.locks import check_locks
 from repro.analyze.programs import check_programs
-from repro.analyze.report import RULES, Report, is_suppressed
+from repro.analyze.report import Report, expand_rule_selectors, is_suppressed
 from repro.analyze.scatter import check_scatter
 
+
+@dataclass
+class AnalysisContext:
+    """Per-run state shared by every rule pass.
+
+    ``sources`` holds each file parsed exactly once; ``callgraph`` is
+    built on first access and reused by every pass that needs it, with
+    its build time recorded under ``timings['callgraph_s']``.
+    """
+
+    sources: List[SourceFile]
+    timings: Dict[str, float] = field(default_factory=dict)
+    _graph: Optional[CallGraph] = None
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._graph is None:
+            started = time.perf_counter()
+            self._graph = CallGraph.build(self.sources)
+            self.timings["callgraph_s"] = time.perf_counter() - started
+        return self._graph
+
+
 #: checker families in reporting order.
-CHECKERS = (check_programs, check_locks, check_scatter)
+CHECKERS = (check_programs, check_locks, check_scatter, check_concurrency)
 
 
 def default_root() -> str:
@@ -40,20 +74,27 @@ def analyze_paths(
 ) -> Report:
     """Run every checker over ``paths`` (default: the repro package).
 
-    ``rules`` restricts reporting to the given rule ids;
+    ``rules`` restricts reporting: each entry may be an exact rule id,
+    a comma-separated list, or an ``fnmatch`` pattern (``ASYNC*``).
     ``honor_suppressions=False`` reports even pragma-silenced findings
     (used by the analyzer's own tests).
     """
-    if rules is not None:
-        unknown = sorted(set(rules) - set(RULES))
-        if unknown:
-            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    started = time.perf_counter()
+    selected = expand_rule_selectors(rules)
+    parse_started = time.perf_counter()
     sources = load_sources(list(paths) if paths else [default_root()])
+    context = AnalysisContext(sources=sources)
+    context.timings["parse_s"] = time.perf_counter() - parse_started
     report = Report(files_scanned=len(sources))
     by_path = {source.path: source for source in sources}
     for checker in CHECKERS:
-        for finding in checker(sources):
-            if rules is not None and finding.rule_id not in rules:
+        checker_started = time.perf_counter()
+        findings = checker(context)
+        context.timings[f"{checker.__name__}_s"] = (
+            time.perf_counter() - checker_started
+        )
+        for finding in findings:
+            if selected is not None and finding.rule_id not in selected:
                 continue
             source = by_path.get(finding.path)
             if (
@@ -65,6 +106,8 @@ def analyze_paths(
                 continue
             report.findings.append(finding)
     report.sort()
+    report.timings = dict(context.timings)
+    report.elapsed_s = time.perf_counter() - started
     return report
 
 
@@ -73,8 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro analyze",
         description=(
             "Static split-safety verifier (Theorems 1/3 vs the §3.3 "
-            "applicability table) plus lock-discipline and numpy "
-            "scatter-race lint."
+            "applicability table) plus lock-discipline, numpy "
+            "scatter-race, and asyncio concurrency lint."
         ),
     )
     parser.add_argument(
@@ -82,7 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to scan (default: the repro package)",
     )
     parser.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif targets GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -90,7 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--rule", action="append", default=None, metavar="ID",
-        help="only report the given rule id (repeatable)",
+        help=(
+            "only report matching rules: exact ids, comma-separated "
+            "lists, or glob patterns like 'ASYNC*' (repeatable)"
+        ),
     )
     parser.add_argument(
         "--no-suppress", action="store_true",
@@ -109,7 +160,13 @@ def run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(report.to_json() if args.json else report.to_text())
+    fmt = "json" if args.json else getattr(args, "format", "text")
+    if fmt == "json":
+        print(report.to_json())
+    elif fmt == "sarif":
+        print(report.to_sarif())
+    else:
+        print(report.to_text())
     if args.strict and report.errors:
         return 1
     return 0

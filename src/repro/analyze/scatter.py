@@ -37,9 +37,9 @@ from repro.analyze.report import Finding
 _FOLD_UFUNCS = {"minimum", "maximum", "fmin", "fmax", "add"}
 
 
-def check_scatter(sources: List[SourceFile]) -> List[Finding]:
+def check_scatter(context) -> List[Finding]:
     findings: List[Finding] = []
-    for source in sources:
+    for source in context.sources:
         for scope in _scopes(source.tree):
             bindings = local_bindings(scope)
             for node in _scope_statements(scope):

@@ -615,7 +615,12 @@ class AnalyticsService:
                 tickets=[tickets[r.request_id] for r in batch.requests],
             )
             try:
-                self._queue.put(item, block=block, timeout=submit_timeout_s)
+                # the async bridge always calls with block=False (loop-side
+                # backpressure retries with asyncio.sleep), so the only
+                # blocking mode is the sync path's explicit opt-in
+                self._queue.put(  # analyze: ignore[ASYNC001]
+                    item, block=block, timeout=submit_timeout_s
+                )
             except queue.Full:
                 for ticket in item.tickets:
                     ticket.cancel()

@@ -1,0 +1,26 @@
+"""Seeded ASYNC001: blocking calls reachable from an ``async def``.
+
+``handler`` blocks directly (``time.sleep``) and transitively
+(``relay`` -> ``Worker.push`` -> ``queue.Queue.put``); both sites
+must be flagged.
+"""
+
+import queue
+import time
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._queue = queue.Queue(maxsize=4)
+
+    def push(self, item) -> None:
+        self._queue.put(item, timeout=1.0)
+
+
+def relay(worker: Worker, item) -> None:
+    worker.push(item)
+
+
+async def handler(worker: Worker, item) -> None:
+    relay(worker, item)
+    time.sleep(0.1)

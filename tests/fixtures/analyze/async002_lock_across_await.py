@@ -1,0 +1,19 @@
+"""Seeded ASYNC002: a ``threading`` lock held across an ``await``."""
+
+import asyncio
+import threading
+
+
+async def fetch(key):
+    await asyncio.sleep(0)
+    return key
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values = {}
+
+    async def refresh(self, key):
+        with self._lock:
+            self._values[key] = await fetch(key)

@@ -1,0 +1,12 @@
+"""Seeded ASYNC003: a coroutine call whose result is discarded."""
+
+import asyncio
+
+
+async def audit(event: str) -> None:
+    await asyncio.sleep(0)
+
+
+async def handle(event: str) -> int:
+    audit(event)
+    return 1

@@ -1,0 +1,12 @@
+"""Seeded ASYNC004: loop-affine asyncio objects touched from
+thread-side code without ``call_soon_threadsafe``."""
+
+import asyncio
+
+
+def finish(future: asyncio.Future, value) -> None:
+    future.set_result(value)
+
+
+def feed(inbox: asyncio.Queue, item) -> None:
+    inbox.put_nowait(item)

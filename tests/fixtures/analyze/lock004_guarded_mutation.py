@@ -1,0 +1,18 @@
+"""Seeded LOCK004: ServiceMetrics state mutated from outside the
+class, bypassing its lock-guarded methods."""
+
+import threading
+
+
+class ServiceMetrics:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.http_requests = 0
+
+    def http_observed(self) -> None:
+        with self._lock:
+            self.http_requests += 1
+
+
+def record(metrics: ServiceMetrics) -> None:
+    metrics.http_requests += 1

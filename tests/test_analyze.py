@@ -469,6 +469,60 @@ class TestCLI:
         assert cli_main(["analyze", str(bad_dir), "--rule", "NOPE999"]) == 2
         assert "unknown rule" in capsys.readouterr().err
 
+    def test_rule_comma_list(self, bad_dir, capsys):
+        assert cli_main(
+            ["analyze", str(bad_dir), "--rule", "SCAT001,LOCK001", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"SCAT001": 1}
+
+    def test_rule_glob_prefix(self, bad_dir, capsys):
+        assert cli_main(
+            ["analyze", str(bad_dir), "--rule", "LOCK*", "--strict"]
+        ) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+        assert cli_main(
+            ["analyze", str(bad_dir), "--rule", "SCAT*", "--strict"]
+        ) == 1
+
+    def test_rule_glob_matching_nothing_rejected(self, bad_dir, capsys):
+        assert cli_main(["analyze", str(bad_dir), "--rule", "NOPE*"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_reports_wall_time(self, bad_dir, capsys):
+        assert cli_main(["analyze", str(bad_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["elapsed_s"] > 0
+        assert payload["timings"]["parse_s"] >= 0
+        assert any(
+            key.startswith("check_") for key in payload["timings"]
+        )
+
+    def test_format_json_alias(self, bad_dir, capsys):
+        assert cli_main(
+            ["analyze", str(bad_dir), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"SCAT001": 1}
+
+    def test_sarif_output(self, bad_dir, capsys):
+        assert cli_main(["analyze", str(bad_dir), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert declared == set(RULES)
+        (result,) = run["results"]
+        assert result["ruleId"] == "SCAT001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] == 5
+        assert driver["rules"][result["ruleIndex"]]["id"] == "SCAT001"
+
     def test_human_output_lists_file_line(self, bad_dir, capsys):
         cli_main(["analyze", str(bad_dir)])
         out = capsys.readouterr().out
