@@ -32,3 +32,16 @@ def test_multisource_lanes(run_once, bench_scale):
     # weighted lanes trade wall-clock parity for 16x fewer engine
     # passes; guard against an outright collapse
     assert report.extras["sssp_speedup_16"] >= 0.3
+
+    # mode=auto (the measured cost model's pick) must never lose more
+    # than a few percent to the best fixed mode; smoke scales keep a
+    # wider margin because fixed overheads magnify timing noise
+    ceiling = 1.05 if bench_scale >= 1.0 else 1.5
+    assert report.extras["auto_worst_ratio"] <= ceiling
+    if bench_scale >= 1.0:
+        # on the full-scale bench graph the sssp lane engine's marginal
+        # per-lane cost exceeds a whole scalar pass, so the honest pick
+        # is the loop at every width — the regression the cost model
+        # exists to avoid
+        for count in report.column("sources")[:3]:
+            assert report.extras[f"sssp_auto_mode_{count}"] == "loop"

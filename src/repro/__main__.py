@@ -13,6 +13,9 @@ Subcommands::
     python -m repro serve <dataset> [...]        # drive a synthetic
                                                  # workload through the
                                                  # concurrent service
+    python -m repro calibrate                    # measure this machine
+                                                 # and cache the cost-
+                                                 # model profile
     python -m repro bench [...]                  # paper experiments
                                                  # (alias of repro.bench)
 
@@ -175,9 +178,31 @@ def _parse_sources(args, graph: CSRGraph):
     return sources
 
 
+def _apply_kernel_backend(args) -> None:
+    """Pin the engine kernel backend for this process tree.
+
+    The service builds its own :class:`EngineOptions` deep inside the
+    worker pool, so the CLI flag travels as ``$REPRO_KERNEL_BACKEND``
+    — the engines' documented fallback — which process workers inherit
+    at spawn.  Validated eagerly so a typo fails before any work runs.
+    """
+    choice = getattr(args, "kernel_backend", None)
+    if choice is None:
+        return
+    from repro.engine import kernels
+
+    if choice != "auto" and choice not in kernels.registered_backends():
+        known = ", ".join(("auto",) + kernels.registered_backends())
+        raise TigrError(
+            f"unknown kernel backend {choice!r}; known: {known}"
+        )
+    os.environ["REPRO_KERNEL_BACKEND"] = choice
+
+
 def cmd_query(args) -> int:
     from repro.service import AnalyticsService, GraphCatalog, QueryRequest
 
+    _apply_kernel_backend(args)
     graph = _load(args.graph, scale=args.scale)
     sources = _parse_sources(args, graph)
     catalog = GraphCatalog(spill_dir=args.spill_dir)
@@ -363,6 +388,7 @@ def cmd_serve(args) -> int:
 
     from repro.service import AnalyticsService, GraphCatalog, QueryRequest
 
+    _apply_kernel_backend(args)
     if args.http is not None:
         return cmd_serve_http(args)
     if args.trace is not None:
@@ -422,6 +448,45 @@ def cmd_serve(args) -> int:
         print(f"recorded {recorder.requests_recorded} request(s) / "
               f"{recorder.results_recorded} digest(s) to {args.record}")
     return 0 if ok == len(results) else 1
+
+
+def cmd_calibrate(args) -> int:
+    """Measure this machine and cache the cost-model profile."""
+    from repro.engine import costmodel
+
+    profile, saved_to = costmodel.calibrate_and_save(
+        scale=args.scale, seed=args.seed
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        print(f"saved to {saved_to}", file=sys.stderr)
+        return 0
+    print(f"calibration profile ({profile.machine}):")
+    print(f"  {'probe graph':28s} {profile.probe_nodes} nodes / "
+          f"{profile.probe_edges} edges")
+    print(f"  {'run overhead':28s} {profile.run_overhead_s * 1e6:.1f} us")
+    print(f"  {'scatter (minimum.at)':28s} "
+          f"{profile.scatter_medges_s:.1f} Medges/s")
+    print(f"  {'gather (fancy index)':28s} "
+          f"{profile.gather_medges_s:.1f} Medges/s")
+    print(f"  {'lane pack (bitwise_or.at)':28s} "
+          f"{profile.lane_pack_medges_s:.1f} Medges/s")
+    print(f"  {'push (per edge)':28s} {profile.push_per_edge_s * 1e9:.2f} ns")
+    print(f"  {'pull (per edge)':28s} {profile.pull_per_edge_s * 1e9:.2f} ns")
+    print(f"  {'pull threshold':28s} {profile.pull_threshold():.3f}")
+    for name in sorted(profile.backend_edges_per_s):
+        eps = profile.backend_edges_per_s[name]
+        print(f"  {'backend ' + name:28s} {eps / 1e6:.1f} Medges/s")
+    for family in sorted(profile.lanes):
+        fit = profile.lanes[family]
+        cross = fit.crossover_sources
+        verdict = ("lanes never win" if cross == float("inf")
+                   else f"lanes win at >= {cross:.1f} sources")
+        print(f"  {'lanes ' + family:28s} {verdict}")
+    print(f"saved to {saved_to}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -493,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes hydrate from)")
     p.add_argument("--stats", action="store_true",
                    help="print service metrics after the run")
+    p.add_argument("--kernel-backend", default=None, metavar="NAME",
+                   help="engine kernel backend: auto (cost model), numpy, "
+                        "or a JIT backend like cjit/numba (docs/kernels.md); "
+                        "default: $REPRO_KERNEL_BACKEND or auto")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_query)
 
@@ -550,6 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=int, default=256,
                    help="catalog memory budget in MiB")
     p.add_argument("--spill-dir", default=None)
+    p.add_argument("--kernel-backend", default=None, metavar="NAME",
+                   help="engine kernel backend: auto (cost model), numpy, "
+                        "or a JIT backend like cjit/numba (docs/kernels.md); "
+                        "default: $REPRO_KERNEL_BACKEND or auto")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_serve)
@@ -573,6 +646,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-suppress", action="store_true",
                    help="report findings even on '# analyze: ignore' lines")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure this machine and cache the cost-model profile",
+    )
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="shrink the probe sizes (smoke runs; noisier fits)")
+    p.add_argument("--seed", type=int, default=17,
+                   help="probe-graph RNG seed")
+    p.add_argument("--json", action="store_true",
+                   help="print the profile as JSON instead of a summary")
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("bench", help="regenerate the paper's experiments")
     p.add_argument("experiments", nargs="*", default=None)

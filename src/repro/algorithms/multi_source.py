@@ -72,6 +72,35 @@ def _check_mode(mode: str) -> str:
     return mode
 
 
+def resolve_multisource_mode(
+    *,
+    algorithm: str,
+    num_sources: int,
+    num_edges: int,
+    max_lanes: int = DEFAULT_MAX_LANES,
+) -> str:
+    """What ``mode="auto"`` will run: ``"lanes"`` or ``"loop"``.
+
+    Asks the calibrated cost model (:mod:`repro.engine.costmodel`)
+    which strategy predicts cheaper for ``num_sources`` deduplicated
+    sources on a graph of ``num_edges`` edges.  ``algorithm`` is the
+    lane-cost family — ``"bfs"`` for unweighted hop counts (the
+    bit-packed fast path), ``"sssp"`` for weighted float lanes.
+
+    Public so the service batch planner can make the *same* choice it
+    accounts for in metrics; both strategies return bitwise-identical
+    floats, so this is purely a speed prediction.
+    """
+    from repro.engine import costmodel
+
+    return costmodel.get_profile().choose_multisource_mode(
+        algorithm=algorithm,
+        num_sources=num_sources,
+        num_edges=num_edges,
+        max_lanes=max_lanes,
+    )
+
+
 def lane_blocks(
     num_sources: int, max_lanes: int = DEFAULT_MAX_LANES
 ) -> Iterator[slice]:
@@ -106,8 +135,10 @@ def multi_source_distances(
     whole batch into lane-parallel passes (one traversal per
     ``max_lanes`` sources, duplicates deduplicated and sliced back),
     ``"loop"`` runs one scalar engine pass per listed source, and
-    ``"auto"`` (default) picks lanes whenever more than one distinct
-    source is requested.  Both modes return bitwise-identical floats.
+    ``"auto"`` (default) asks the measured cost model
+    (:func:`resolve_multisource_mode`) which strategy predicts
+    cheaper — lane passes still deduplicate either way.  All modes
+    return bitwise-identical floats.
     """
     _check_mode(mode)
     scheduler = resolve_scheduler(target)
@@ -126,11 +157,24 @@ def multi_source_distances(
 
     requested = np.asarray(sources, dtype=np.int64)
     unique, inverse = np.unique(requested, return_inverse=True)
-    if mode == "auto" and len(unique) == 1:
-        runner = sssp if weighted else bfs
-        row = runner(scheduler, int(unique[0]), options=options,
-                     simulator=simulator).values
-        return np.tile(row, (len(requested), 1))
+    if mode == "auto":
+        mode = resolve_multisource_mode(
+            algorithm="sssp" if weighted else "bfs",
+            num_sources=len(unique),
+            num_edges=scheduler.graph.num_edges,
+            max_lanes=max_lanes,
+        )
+        if mode == "loop":
+            # scalar passes over the *deduplicated* sources, mapped
+            # back through ``inverse`` — duplicates still share a run,
+            # and a single source reproduces the old tile shortcut
+            runner = sssp if weighted else bfs
+            rows = [
+                runner(scheduler, int(source), options=options,
+                       simulator=simulator).values
+                for source in unique
+            ]
+            return np.vstack(rows)[inverse]
 
     program = SSSPProgram() if weighted else BFSProgram()
     matrix = np.empty((n, len(unique)))

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms._dispatch import Target, resolve_scheduler
+from repro.engine import kernels
 from repro.engine.push import EngineOptions, EngineResult
 from repro.gpu.simulator import GPUSimulator
 
@@ -57,6 +58,13 @@ def pagerank(
     eidx = batch.edge_indices()
     src = batch.sources_per_edge()
     dst = graph.targets[eidx]
+    # the per-edge scatter factor never changes either, so the fused
+    # kernel's `rank[src[e]] * scale[e]` matches `rank[src] * inv_deg[src]`
+    # term for term in the same edge order — bitwise-identical sums
+    scale = np.ascontiguousarray(inv_deg[src])
+    backend = kernels.resolve_backend(
+        options.kernel_backend, edges=graph.num_edges
+    )
 
     converged = False
     iterations = 0
@@ -68,7 +76,8 @@ def pagerank(
         edges_processed += batch.total_edges
 
         contrib = np.zeros(n)
-        np.add.at(contrib, dst, rank[src] * inv_deg[src])
+        if not backend.try_edge_mul_add(contrib, rank, src, dst, scale):
+            np.add.at(contrib, dst, rank[src] * inv_deg[src])
         dangling_mass = rank[dangling].sum() / n
         new_rank = (1.0 - damping) / n + damping * (contrib + dangling_mass)
         delta = np.abs(new_rank - rank).sum()

@@ -1,0 +1,118 @@
+"""Kernel-backend certification check (rule KERN001).
+
+A kernel backend (:mod:`repro.engine.kernels`) substitutes compiled
+code for the engines' relax/reduce inner loops — the one place where a
+bug silently corrupts *every* analytic at once.  The project's safety
+story for that risk is bitwise parity: each backend must be proven
+equal to the numpy baseline by a dedicated parity test module, and
+that proof obligation is recorded in
+:data:`repro.core.applicability.KERNEL_BACKEND_EXPECTATIONS`.
+
+This checker closes the loop statically, in the same style as the
+vertex-program checks (:mod:`repro.analyze.programs`):
+
+* every class subclassing ``KernelBackend`` (or the base class itself,
+  which *is* the numpy backend) must declare a literal ``name``;
+* that name must appear in ``KERNEL_BACKEND_EXPECTATIONS``;
+* the matching expectation must declare a non-empty parity fixture.
+
+Nothing is imported from the scanned sources — discovery is purely
+syntactic, so seeded-violation fixtures are analyzable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analyze.astutils import SourceFile, base_names, class_constant
+from repro.analyze.report import Finding
+from repro.core.applicability import KERNEL_BACKEND_EXPECTATIONS
+
+#: base-class names that mark a kernel backend implementation.
+_BACKEND_BASES = {"KernelBackend"}
+
+
+def _is_backend_class(node: ast.ClassDef) -> bool:
+    """A backend is a subclass of ``KernelBackend`` — or the base
+    class itself, which doubles as the numpy baseline backend."""
+    if set(base_names(node)) & _BACKEND_BASES:
+        return True
+    return node.name in _BACKEND_BASES
+
+
+def _string_constant(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def check_kernels(context) -> List[Finding]:
+    """Run the kernel-backend certification check over the scan."""
+    findings: List[Finding] = []
+    backends: List[tuple] = []  # (source, cls, name)
+    for source in context.sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and _is_backend_class(node):
+                name = _string_constant(class_constant(node, "name"))
+                backends.append((source, node, name))
+                findings.extend(_check_one(source, node, name))
+
+    # Table-side drift — only when the scan actually covered backend
+    # definitions (a partial-path run over the service layer must not
+    # demand the kernels module be present).
+    if backends:
+        findings.extend(_check_table_coverage(backends))
+    return findings
+
+
+def _check_one(
+    source: SourceFile, cls: ast.ClassDef, name: Optional[str]
+) -> List[Finding]:
+    path = source.path
+    if name is None:
+        return [Finding.make(
+            "KERN001", path, cls.lineno,
+            f"{cls.name}: kernel backend declares no literal `name`; it "
+            f"cannot be matched against KERNEL_BACKEND_EXPECTATIONS and "
+            f"its parity with the numpy baseline is uncertified",
+        )]
+    expectation = KERNEL_BACKEND_EXPECTATIONS.get(name)
+    if expectation is None:
+        return [Finding.make(
+            "KERN001", path, cls.lineno,
+            f"{cls.name}: backend {name!r} has no "
+            f"KernelBackendExpectation in "
+            f"repro.core.applicability.KERNEL_BACKEND_EXPECTATIONS — "
+            f"register it with the parity fixture that proves it "
+            f"bitwise-equal to the numpy baseline",
+        )]
+    if not expectation.parity_fixture:
+        return [Finding.make(
+            "KERN001", path, cls.lineno,
+            f"{cls.name}: backend {name!r} is registered without a "
+            f"parity fixture; an unproven backend must not replace the "
+            f"engines' inner loops",
+        )]
+    return []
+
+
+def _check_table_coverage(backends: List[tuple]) -> List[Finding]:
+    """Expectations with no backing class are dead certifications."""
+    findings: List[Finding] = []
+    seen: Set[str] = {name for _, _, name in backends if name}
+    # Anchor table-side findings on the file that defined the most
+    # backends — the place the missing definition belongs.
+    anchor = max(
+        (source.path for source, _, _ in backends),
+        key=lambda p: sum(source.path == p for source, _, _ in backends),
+    )
+    for name, expectation in sorted(KERNEL_BACKEND_EXPECTATIONS.items()):
+        if name not in seen:
+            findings.append(Finding.make(
+                "KERN001", anchor, 1,
+                f"KERNEL_BACKEND_EXPECTATIONS certifies a backend named "
+                f"{name!r} (fixture {expectation.parity_fixture!r}) but "
+                f"the scan found no class declaring it",
+            ))
+    return findings

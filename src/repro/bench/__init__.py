@@ -31,6 +31,7 @@ from repro.bench.ablations import (
 )
 from repro.bench.figures import degree_profile, figure13_speedups
 from repro.bench.hardwired import hardwired_comparison
+from repro.bench.kernels import kernel_backends
 from repro.bench.multisource import multisource_lanes
 from repro.bench.orthogonality import device_generation_sweep, multigpu_orthogonality
 from repro.bench.report import ExperimentReport, format_table, geometric_mean
@@ -76,6 +77,7 @@ __all__ = [
     "service_throughput",
     "service_trace_replay",
     "multisource_lanes",
+    "kernel_backends",
     "skew_sweep",
     "reordering_comparison",
     "bar_chart",

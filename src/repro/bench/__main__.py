@@ -28,6 +28,7 @@ from repro.bench import (
     hardwired_comparison,
     k_sweep_physical,
     k_sweep_virtual,
+    kernel_backends,
     multisource_lanes,
     optimization_grid,
     reordering_comparison,
@@ -75,6 +76,7 @@ EXPERIMENTS = {
     "service-backends": lambda scale: service_backend_sweep(scale=scale),
     "service-trace": lambda scale: service_trace_replay(scale=scale),
     "multisource": lambda scale: multisource_lanes(scale=scale),
+    "kernels": lambda scale: kernel_backends(scale=scale),
 }
 
 

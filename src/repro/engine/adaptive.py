@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.program import PushProgram, ReduceOp
 from repro.engine.push import EngineOptions, EngineResult
 from repro.engine.schedule import NodeScheduler, Scheduler
@@ -39,10 +40,14 @@ class AdaptiveOptions(EngineOptions):
 
     A pull iteration runs when the frontier's out-edges exceed
     ``pull_threshold`` of the graph's edges (the Beamer-style
-    heuristic, expressed as a fraction).
+    heuristic, expressed as a fraction).  ``None`` asks the measured
+    cost model: a pull sweep pays ``m * pull_per_edge`` while a push
+    pays ``frontier_edges * push_per_edge``, so the calibrated
+    break-even fraction is ``pull_per_edge / push_per_edge`` — see
+    :meth:`repro.engine.costmodel.CalibrationProfile.pull_threshold`.
     """
 
-    pull_threshold: float = 0.10
+    pull_threshold: Optional[float] = 0.10
 
 
 @dataclass
@@ -93,6 +98,16 @@ def run_adaptive(
     values = program.initial_values(n, source)
     frontier = np.asarray(program.initial_frontier(n, source), dtype=NODE_DTYPE)
 
+    pull_threshold = options.pull_threshold
+    if pull_threshold is None:
+        from repro.engine import costmodel
+
+        pull_threshold = costmodel.get_profile().pull_threshold()
+    backend = kernels.resolve_backend(
+        options.kernel_backend, edges=graph.num_edges
+    )
+    spec = kernels.spec_for(program) if backend.jit else None
+
     converged = False
     iterations = pushes = pulls = 0
     edges_processed = 0
@@ -105,15 +120,17 @@ def run_adaptive(
         before = values.copy()
         frontier_edges = int(degrees[frontier].sum())
 
-        if frontier_edges > options.pull_threshold * total_edges:
+        if frontier_edges > pull_threshold * total_edges:
             # ---- pull sweep over every node's in-edges -------------
             pulls += 1
             batch = pull_scheduler.batch(pull_scheduler.all_nodes())
             if simulator is not None:
                 simulator.record_iteration(batch.trace())
             edges_processed += batch.total_edges
-            eidx = batch.edge_indices()
-            if len(eidx):
+            if batch.total_edges and not backend.try_pull(
+                spec, values, before, batch, reverse.targets, reverse.weights
+            ):
+                eidx = batch.edge_indices()
                 neighbor_vals = before[reverse.targets[eidx]]
                 w = reverse.weights[eidx] if reverse.weights is not None else None
                 candidates = program.relax(neighbor_vals, w)
@@ -125,8 +142,10 @@ def run_adaptive(
             if simulator is not None:
                 simulator.record_iteration(batch.trace())
             edges_processed += batch.total_edges
-            eidx = batch.edge_indices()
-            if len(eidx):
+            if batch.total_edges and not backend.try_push(
+                spec, values, before, batch, graph.targets, graph.weights
+            ):
+                eidx = batch.edge_indices()
                 src_vals = before[batch.sources_per_edge()]
                 w = graph.weights[eidx] if graph.weights is not None else None
                 candidates = program.relax(src_vals, w)

@@ -1,0 +1,856 @@
+"""Pluggable kernel backends behind the Push/PullProgram API.
+
+The engines' hot path is always the same shape: gather each active
+thread's edges, relax along every edge, and scatter-reduce candidates
+into destination values.  The numpy realisation of that shape pays
+for several full-edge-array temporaries per launch (``edge_indices``,
+``sources_per_edge``, the gathered source values, the relax result)
+before ``ufunc.at`` even runs.  A compiled kernel walks the thread
+descriptors directly — one pass over the edges, zero temporaries —
+and produces **bitwise identical** results because it performs the
+exact same float operations in the exact same order ``ufunc.at``
+would.
+
+Three backends are registered:
+
+``numpy``
+    The scalar baseline: the engines' own vectorised code path.  Its
+    ``try_*`` hooks all decline, so the engine falls through to the
+    canonical numpy implementation that every other backend is
+    measured (and parity-tested) against.
+``cjit``
+    Generates a small C source file covering every certified
+    (relax-class, reduction) pair, compiles it once with the system C
+    compiler into a cached shared library (under
+    :func:`repro.engine.costmodel.cache_dir`), and calls it through
+    :mod:`ctypes`.  Available wherever a C compiler is; the compile
+    is amortised across every subsequent run in the process *and*
+    across processes via the on-disk cache.
+``numba``
+    JIT-compiles the pure-Python reference kernels in this module
+    with :func:`numba.njit`.  Auto-detected: when numba is not
+    installed the backend reports unavailable and resolution falls
+    back gracefully.
+
+Backend choice is per engine run: ``EngineOptions.kernel_backend``
+wins, else ``$REPRO_KERNEL_BACKEND``, else ``"auto"`` — which asks
+the measured cost model (:mod:`repro.engine.costmodel`) whether the
+graph is big enough for a JIT kernel to pay for its call overhead.
+
+Safety gates (any failure falls back to numpy, never errors):
+
+* the program's (relax, reduce) pair must be certified by
+  :data:`repro.core.applicability.PROGRAM_EXPECTATIONS` — the same
+  table ``repro analyze`` diffs against the source (SPLIT001–006),
+  so a program whose relax body drifted from its declared class is
+  caught *statically* before a fused kernel could disagree with it;
+* the program must not override ``filter_pushes`` or ``lane_relax``
+  (a fused kernel cannot honor arbitrary Python hooks);
+* arrays must be C-contiguous ``float64``/``int64`` and the batch
+  must carry per-thread owners (``phys``); warp-segmentation batches
+  decline;
+* the read array must not alias the write array (synchronization
+  relaxation re-reads values mid-launch, which only the buffered
+  numpy path reproduces).
+
+Every registered backend must also declare a parity fixture in
+:data:`repro.core.applicability.KERNEL_BACKEND_EXPECTATIONS`; rule
+KERN001 of ``repro analyze --strict`` fails the build otherwise.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import threading
+import warnings
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.core.applicability import PROGRAM_EXPECTATIONS
+from repro.engine.program import PushProgram
+from repro.errors import EngineError
+
+#: relax-body codes shared by every compiled backend (and the pure
+#: Python reference kernels below).
+RELAX_ADDITIVE = 0     # c = src + w   (w = 1.0 on unweighted graphs)
+RELAX_WIDEST = 1       # c = min(src, w)
+RELAX_PROPAGATION = 2  # c = src
+
+#: reduction codes.
+REDUCE_MIN = 0
+REDUCE_MAX = 1
+REDUCE_ADD = 2
+
+_RELAX_CODES = {
+    "additive": RELAX_ADDITIVE,
+    "widest_path": RELAX_WIDEST,
+    "propagation": RELAX_PROPAGATION,
+}
+_REDUCE_CODES = {"min": REDUCE_MIN, "max": REDUCE_MAX, "add": REDUCE_ADD}
+
+
+class KernelSpec(NamedTuple):
+    """A fusable (relax-class, reduction) pair in code form."""
+
+    relax: int
+    reduce: int
+
+    @property
+    def needs_weights(self) -> bool:
+        return self.relax == RELAX_WIDEST
+
+
+def spec_for(program: PushProgram) -> Optional[KernelSpec]:
+    """The compiled-kernel spec for a program, or ``None``.
+
+    Derived from the applicability table — the single source of truth
+    the static analyzer certifies against the relax body — and gated
+    on the program not overriding the hooks a fused kernel cannot
+    reproduce.  ``None`` means "run the numpy path"; it is never an
+    error.
+    """
+    expectation = PROGRAM_EXPECTATIONS.get(program.name)
+    if expectation is None:
+        return None
+    if program.reduce.value != expectation.reduce_op:
+        return None  # drifted from the table; analyzer flags it too
+    if type(program).filter_pushes is not PushProgram.filter_pushes:
+        return None
+    if type(program).lane_relax is not PushProgram.lane_relax:
+        return None
+    relax = _RELAX_CODES.get(expectation.relax_class)
+    reduce_ = _REDUCE_CODES.get(expectation.reduce_op)
+    if relax is None or reduce_ is None:
+        return None
+    return KernelSpec(relax, reduce_)
+
+
+# ----------------------------------------------------------------------
+# Pure-Python reference kernels
+# ----------------------------------------------------------------------
+# These loops define, operation for operation, what every compiled
+# backend must do.  The numba backend JIT-compiles them directly; the
+# C backend is a transliteration.  They match the engines' vectorised
+# numpy path bitwise: the gather order is thread-by-thread in strided
+# slot order (exactly `strided_ranges_to_indices`), and the fold is
+# the same comparison / addition `ufunc.at` applies element-wise.
+
+def _push_kernel(v, rv, phys, counts, starts, strides, targets, w,
+                 has_w, relax, reduce_):
+    for t in range(phys.shape[0]):
+        s = rv[phys[t]]
+        b = starts[t]
+        st = strides[t]
+        for j in range(counts[t]):
+            e = b + j * st
+            if relax == 0:
+                c = s + (w[e] if has_w else 1.0)
+            elif relax == 1:
+                c = min(s, w[e])
+            else:
+                c = s
+            d = targets[e]
+            if reduce_ == 0:
+                if c < v[d]:
+                    v[d] = c
+            elif reduce_ == 1:
+                if c > v[d]:
+                    v[d] = c
+            else:
+                v[d] += c
+
+
+def _pull_kernel(v, rv, own, counts, starts, strides, in_sources, w,
+                 has_w, relax, reduce_):
+    for t in range(own.shape[0]):
+        o = own[t]
+        b = starts[t]
+        st = strides[t]
+        for j in range(counts[t]):
+            e = b + j * st
+            s = rv[in_sources[e]]
+            if relax == 0:
+                c = s + (w[e] if has_w else 1.0)
+            elif relax == 1:
+                c = min(s, w[e])
+            else:
+                c = s
+            if reduce_ == 0:
+                if c < v[o]:
+                    v[o] = c
+            elif reduce_ == 1:
+                if c > v[o]:
+                    v[o] = c
+            else:
+                v[o] += c
+
+
+def _push_lanes_kernel(vt, rvt, phys, counts, starts, strides, targets, w,
+                       has_w, relax, reduce_):
+    lanes = vt.shape[0]
+    for lane in range(lanes):
+        v = vt[lane]
+        rv = rvt[lane]
+        for t in range(phys.shape[0]):
+            s = rv[phys[t]]
+            b = starts[t]
+            st = strides[t]
+            for j in range(counts[t]):
+                e = b + j * st
+                if relax == 0:
+                    c = s + (w[e] if has_w else 1.0)
+                elif relax == 1:
+                    c = min(s, w[e])
+                else:
+                    c = s
+                d = targets[e]
+                if reduce_ == 0:
+                    if c < v[d]:
+                        v[d] = c
+                elif reduce_ == 1:
+                    if c > v[d]:
+                        v[d] = c
+                else:
+                    v[d] += c
+
+
+def _or_kernel(new_w, frontier_w, phys, counts, starts, strides, targets):
+    for t in range(phys.shape[0]):
+        bits = frontier_w[phys[t]]
+        b = starts[t]
+        st = strides[t]
+        for j in range(counts[t]):
+            e = b + j * st
+            new_w[targets[e]] |= bits
+
+
+def _edge_mul_add_kernel(out, values, src, dst, scale):
+    for e in range(src.shape[0]):
+        out[dst[e]] += values[src[e]] * scale[e]
+
+
+# ----------------------------------------------------------------------
+# Backend base class and registry
+# ----------------------------------------------------------------------
+def _i64(a: np.ndarray) -> bool:
+    return a.dtype == np.int64 and a.flags.c_contiguous
+
+
+def _f64(a: np.ndarray) -> bool:
+    return a.dtype == np.float64 and a.flags.c_contiguous
+
+
+def _u64(a: np.ndarray) -> bool:
+    return a.dtype == np.uint64 and a.flags.c_contiguous
+
+
+class KernelBackend:
+    """One relax/reduce inner-loop implementation.
+
+    The base class *is* the ``numpy`` backend: every ``try_*`` hook
+    declines, which makes the engines run their canonical vectorised
+    path.  Compiled backends override the hooks and return ``True``
+    when they handled the launch; any gate failure returns ``False``
+    and the engine falls back — so a backend can never change
+    results, only speed.
+    """
+
+    #: registry key; must appear in KERNEL_BACKEND_EXPECTATIONS.
+    name = "numpy"
+    #: whether this backend JIT-compiles kernels.
+    jit = False
+
+    def __init__(self) -> None:
+        #: launches handled by compiled kernels (parity tests assert
+        #: the fused path actually engaged).
+        self.engaged = 0
+        #: launches declined to the numpy path.
+        self.declined = 0
+
+    def is_available(self) -> bool:
+        return True
+
+    def availability_note(self) -> str:
+        """Human-readable reason when :meth:`is_available` is False."""
+        return "always available"
+
+    # Each hook mirrors one engine call site.  Argument arrays are the
+    # engine's own (full ``targets``/``weights`` arrays, per-batch
+    # descriptor arrays); the hook must not mutate anything but the
+    # destination values.
+    def try_push(self, spec, values, read_values, batch, targets, weights) -> bool:
+        return False
+
+    def try_pull(self, spec, values, read_values, batch, in_sources, weights) -> bool:
+        return False
+
+    def try_push_lanes(self, spec, values_t, read_t, batch, targets, weights) -> bool:
+        return False
+
+    def try_or_scatter(self, new_w, frontier_w, batch, targets) -> bool:
+        return False
+
+    def try_edge_mul_add(self, out, values, src, dst, scale) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    def _gate_common(self, spec, values, read_values, batch, weights) -> bool:
+        """Shared admission checks for the batch-form hooks."""
+        if spec is None or batch.phys is None:
+            return False
+        if values is read_values:
+            # synchronization relaxation re-reads mid-launch; only the
+            # buffered numpy path reproduces that order.
+            return False
+        if not (_f64(values) and _f64(read_values) and _i64(batch.phys)
+                and _i64(batch.counts) and _i64(batch.starts)
+                and _i64(batch.strides)):
+            return False
+        if weights is None:
+            if spec.needs_weights:
+                return False
+        elif not _f64(weights):
+            return False
+        return True
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (idempotent by name)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[backend.name] = backend
+    return backend
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names that can actually run on this machine."""
+    with _REGISTRY_LOCK:
+        items = list(_REGISTRY.items())
+    return tuple(sorted(n for n, b in items if b.is_available()))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend, availability unchecked.
+
+    Raises :class:`~repro.errors.EngineError` for unknown names (a
+    typo in ``--kernel-backend`` should fail loudly, not silently run
+    the scalar path).
+    """
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
+        raise EngineError(
+            f"unknown kernel backend {name!r}; registered: "
+            + ", ".join(registered_backends())
+        )
+    return backend
+
+
+_warned_unavailable: set = set()
+
+
+def resolve_backend(
+    name: Optional[str] = None, *, edges: Optional[int] = None
+) -> KernelBackend:
+    """Pick the backend for one engine run.
+
+    ``name`` (usually ``EngineOptions.kernel_backend``) wins, then
+    ``$REPRO_KERNEL_BACKEND``, then ``"auto"``.  ``auto`` asks the
+    measured cost model which backend minimises predicted kernel time
+    for a graph of ``edges`` edges.  A requested-but-unavailable
+    backend (numba not installed, no C compiler) warns once and falls
+    back to numpy — results are identical either way, so degrading is
+    always safe.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_KERNEL_BACKEND") or "auto"
+    if name == "auto":
+        from repro.engine import costmodel
+
+        name = costmodel.get_profile().choose_kernel_backend(
+            edges=edges or 0, candidates=available_backends(),
+        )
+    backend = get_backend(name)
+    if not backend.is_available():
+        if name not in _warned_unavailable:
+            _warned_unavailable.add(name)
+            warnings.warn(
+                f"kernel backend {name!r} is unavailable "
+                f"({backend.availability_note()}); falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return get_backend("numpy")
+    return backend
+
+
+# ----------------------------------------------------------------------
+# C backend (system compiler + ctypes)
+# ----------------------------------------------------------------------
+#: the C transliteration of the reference kernels.  One function per
+#: shape; relax/reduce arrive as int flags that gcc's loop unswitching
+#: hoists out of the hot loops at -O3.
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define RELAX(c, s, e) do { \
+    if (relax == 0)      (c) = (s) + (has_w ? w[(e)] : 1.0); \
+    else if (relax == 1) (c) = ((s) < w[(e)] ? (s) : w[(e)]); \
+    else                 (c) = (s); \
+} while (0)
+
+#define FOLD(v, d, c) do { \
+    if (reduce == 0)      { if ((c) < (v)[(d)]) (v)[(d)] = (c); } \
+    else if (reduce == 1) { if ((c) > (v)[(d)]) (v)[(d)] = (c); } \
+    else                  { (v)[(d)] += (c); } \
+} while (0)
+
+void push_batch(double* v, const double* rv, const int64_t* phys,
+                const int64_t* counts, const int64_t* starts,
+                const int64_t* strides, const int64_t* targets,
+                const double* w, int64_t nthreads,
+                int has_w, int relax, int reduce) {
+    for (int64_t t = 0; t < nthreads; t++) {
+        const double s = rv[phys[t]];
+        const int64_t b = starts[t], st = strides[t], k = counts[t];
+        for (int64_t j = 0; j < k; j++) {
+            const int64_t e = b + j * st;
+            double c;
+            RELAX(c, s, e);
+            FOLD(v, targets[e], c);
+        }
+    }
+}
+
+void pull_batch(double* v, const double* rv, const int64_t* own,
+                const int64_t* counts, const int64_t* starts,
+                const int64_t* strides, const int64_t* in_sources,
+                const double* w, int64_t nthreads,
+                int has_w, int relax, int reduce) {
+    for (int64_t t = 0; t < nthreads; t++) {
+        const int64_t o = own[t];
+        const int64_t b = starts[t], st = strides[t], k = counts[t];
+        for (int64_t j = 0; j < k; j++) {
+            const int64_t e = b + j * st;
+            double c;
+            RELAX(c, rv[in_sources[e]], e);
+            FOLD(v, o, c);
+        }
+    }
+}
+
+void push_lanes(double* vt, const double* rvt, int64_t lanes, int64_t n,
+                const int64_t* phys, const int64_t* counts,
+                const int64_t* starts, const int64_t* strides,
+                const int64_t* targets, const double* w, int64_t nthreads,
+                int has_w, int relax, int reduce) {
+    for (int64_t lane = 0; lane < lanes; lane++) {
+        double* v = vt + lane * n;
+        const double* rv = rvt + lane * n;
+        for (int64_t t = 0; t < nthreads; t++) {
+            const double s = rv[phys[t]];
+            const int64_t b = starts[t], st = strides[t], k = counts[t];
+            for (int64_t j = 0; j < k; j++) {
+                const int64_t e = b + j * st;
+                double c;
+                RELAX(c, s, e);
+                FOLD(v, targets[e], c);
+            }
+        }
+    }
+}
+
+void or_batch(uint64_t* new_w, const uint64_t* frontier_w,
+              const int64_t* phys, const int64_t* counts,
+              const int64_t* starts, const int64_t* strides,
+              const int64_t* targets, int64_t nthreads) {
+    for (int64_t t = 0; t < nthreads; t++) {
+        const uint64_t bits = frontier_w[phys[t]];
+        const int64_t b = starts[t], st = strides[t], k = counts[t];
+        for (int64_t j = 0; j < k; j++) {
+            new_w[targets[b + j * st]] |= bits;
+        }
+    }
+}
+
+void edge_mul_add(double* out, const double* values, const int64_t* src,
+                  const int64_t* dst, const double* scale, int64_t nedges) {
+    for (int64_t e = 0; e < nedges; e++) {
+        out[dst[e]] += values[src[e]] * scale[e];
+    }
+}
+
+void scatter_reduce(double* v, const int64_t* idx, const double* c,
+                    int64_t n, int reduce) {
+    int relax = 2; (void)relax;
+    for (int64_t i = 0; i < n; i++) {
+        FOLD(v, idx[i], c[i]);
+    }
+}
+"""
+
+
+def _find_cc() -> Optional[str]:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+class CJitBackend(KernelBackend):
+    """Kernels compiled once with the system C compiler.
+
+    The shared library is content-addressed by (source hash, compiler)
+    and cached under the repro cache dir, so the compile cost is paid
+    once per machine, not per process.  Loading is lazy: the compiler
+    is only invoked the first time a hook actually fires.
+    """
+
+    name = "cjit"
+    jit = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lib: Optional[ctypes.CDLL] = None
+        self._failed: Optional[str] = None
+        self._lock = threading.Lock()
+        #: wall seconds the one-time compile took (0 on cache hit).
+        self.compile_seconds = 0.0
+
+    # -- compilation ----------------------------------------------------
+    def is_available(self) -> bool:
+        with self._lock:
+            if self._lib is not None:
+                return True
+            if self._failed is not None:
+                return False
+        return _find_cc() is not None
+
+    def availability_note(self) -> str:
+        with self._lock:
+            failed = self._failed
+        if failed is not None:
+            return failed
+        if _find_cc() is None:
+            return "no C compiler on PATH (set $CC or install gcc/clang)"
+        return "available"
+
+    def _ensure_lib(self) -> Optional[ctypes.CDLL]:
+        # an uncontended lock costs ~100ns — noise next to a launch
+        with self._lock:
+            if self._lib is None and self._failed is None:
+                try:
+                    self._lib = self._compile()
+                except Exception as exc:  # compile trouble = degrade, never fail
+                    self._failed = f"kernel compile failed: {exc}"
+                    warnings.warn(
+                        f"cjit backend disabled: {self._failed}",
+                        RuntimeWarning, stacklevel=2,
+                    )
+            return self._lib
+
+    def _compile(self) -> ctypes.CDLL:
+        import time
+
+        from repro.engine.costmodel import cache_dir
+
+        cc = _find_cc()
+        if cc is None:
+            raise EngineError("no C compiler on PATH")
+        digest = hashlib.sha256(
+            (_C_SOURCE + "\0" + cc).encode()
+        ).hexdigest()[:16]
+        lib_dir = os.path.join(cache_dir(), "kernels")
+        os.makedirs(lib_dir, exist_ok=True)
+        lib_path = os.path.join(lib_dir, f"repro-kernels-{digest}.so")
+        if not os.path.exists(lib_path):
+            started = time.perf_counter()
+            src_path = os.path.join(lib_dir, f"repro-kernels-{digest}.c")
+            tmp_path = f"{lib_path}.tmp.{os.getpid()}"
+            with open(src_path, "w", encoding="utf-8") as fh:
+                fh.write(_C_SOURCE)
+            subprocess.run(
+                [cc, "-O3", "-fPIC", "-shared", "-o", tmp_path, src_path],
+                check=True, capture_output=True, text=True,
+            )
+            os.replace(tmp_path, lib_path)  # atomic: racers see whole files
+            self.compile_seconds = time.perf_counter() - started
+        lib = ctypes.CDLL(lib_path)
+        for fn in ("push_batch", "pull_batch", "push_lanes", "or_batch",
+                   "edge_mul_add", "scatter_reduce"):
+            getattr(lib, fn).restype = None
+        return lib
+
+    # -- hooks ----------------------------------------------------------
+    @staticmethod
+    def _ptr(a: np.ndarray) -> ctypes.c_void_p:
+        return ctypes.c_void_p(a.ctypes.data)
+
+    def try_push(self, spec, values, read_values, batch, targets, weights) -> bool:
+        if not self._gate_common(spec, values, read_values, batch, weights):
+            return False
+        if not _i64(targets):
+            return False
+        lib = self._ensure_lib()
+        if lib is None:
+            return False
+        w = weights if weights is not None else values  # never read when has_w=0
+        lib.push_batch(
+            self._ptr(values), self._ptr(read_values), self._ptr(batch.phys),
+            self._ptr(batch.counts), self._ptr(batch.starts),
+            self._ptr(batch.strides), self._ptr(targets), self._ptr(w),
+            ctypes.c_int64(batch.num_threads),
+            ctypes.c_int(int(weights is not None)),
+            ctypes.c_int(spec.relax), ctypes.c_int(spec.reduce),
+        )
+        self.engaged += 1
+        return True
+
+    def try_pull(self, spec, values, read_values, batch, in_sources, weights) -> bool:
+        if not self._gate_common(spec, values, read_values, batch, weights):
+            return False
+        if not _i64(in_sources):
+            return False
+        lib = self._ensure_lib()
+        if lib is None:
+            return False
+        w = weights if weights is not None else values
+        lib.pull_batch(
+            self._ptr(values), self._ptr(read_values), self._ptr(batch.phys),
+            self._ptr(batch.counts), self._ptr(batch.starts),
+            self._ptr(batch.strides), self._ptr(in_sources), self._ptr(w),
+            ctypes.c_int64(batch.num_threads),
+            ctypes.c_int(int(weights is not None)),
+            ctypes.c_int(spec.relax), ctypes.c_int(spec.reduce),
+        )
+        self.engaged += 1
+        return True
+
+    def try_push_lanes(self, spec, values_t, read_t, batch, targets, weights) -> bool:
+        if not self._gate_common(spec, values_t, read_t, batch, weights):
+            return False
+        if not _i64(targets) or values_t.ndim != 2:
+            return False
+        lib = self._ensure_lib()
+        if lib is None:
+            return False
+        lanes, n = values_t.shape
+        w = weights if weights is not None else values_t
+        lib.push_lanes(
+            self._ptr(values_t), self._ptr(read_t),
+            ctypes.c_int64(lanes), ctypes.c_int64(n),
+            self._ptr(batch.phys), self._ptr(batch.counts),
+            self._ptr(batch.starts), self._ptr(batch.strides),
+            self._ptr(targets), self._ptr(w),
+            ctypes.c_int64(batch.num_threads),
+            ctypes.c_int(int(weights is not None)),
+            ctypes.c_int(spec.relax), ctypes.c_int(spec.reduce),
+        )
+        self.engaged += 1
+        return True
+
+    def try_or_scatter(self, new_w, frontier_w, batch, targets) -> bool:
+        if batch.phys is None:
+            return False
+        if not (_u64(new_w) and _u64(frontier_w) and _i64(batch.phys)
+                and _i64(batch.counts) and _i64(batch.starts)
+                and _i64(batch.strides) and _i64(targets)):
+            return False
+        if new_w.ndim != 1 or frontier_w.ndim != 1:
+            return False
+        lib = self._ensure_lib()
+        if lib is None:
+            return False
+        lib.or_batch(
+            self._ptr(new_w), self._ptr(frontier_w), self._ptr(batch.phys),
+            self._ptr(batch.counts), self._ptr(batch.starts),
+            self._ptr(batch.strides), self._ptr(targets),
+            ctypes.c_int64(batch.num_threads),
+        )
+        self.engaged += 1
+        return True
+
+    def try_edge_mul_add(self, out, values, src, dst, scale) -> bool:
+        if not (_f64(out) and _f64(values) and _f64(scale)
+                and _i64(src) and _i64(dst)):
+            return False
+        lib = self._ensure_lib()
+        if lib is None:
+            return False
+        lib.edge_mul_add(
+            self._ptr(out), self._ptr(values), self._ptr(src),
+            self._ptr(dst), self._ptr(scale), ctypes.c_int64(len(src)),
+        )
+        self.engaged += 1
+        return True
+
+
+# ----------------------------------------------------------------------
+# Numba backend
+# ----------------------------------------------------------------------
+class NumbaBackend(KernelBackend):
+    """The reference kernels JIT-compiled with :func:`numba.njit`.
+
+    Optional: :meth:`is_available` probes for an importable numba
+    without importing it at module load.  Kernels compile lazily per
+    shape on first use; ``compile_seconds`` accumulates the one-time
+    cost so benches can report warm and compile-included timings
+    separately.
+    """
+
+    name = "numba"
+    jit = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._kernels: Dict[str, object] = {}
+        self._failed: Optional[str] = None
+        self._lock = threading.Lock()
+        self.compile_seconds = 0.0
+
+    def is_available(self) -> bool:
+        with self._lock:
+            if self._kernels:
+                return True
+            if self._failed is not None:
+                return False
+        import importlib.util
+
+        try:
+            return importlib.util.find_spec("numba") is not None
+        except (ImportError, ValueError):
+            return False
+
+    def availability_note(self) -> str:
+        with self._lock:
+            failed = self._failed
+        if failed is not None:
+            return failed
+        return "numba is not installed (pip install numba)"
+
+    def _kernel(self, key: str, py_func):
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is not None or self._failed is not None:
+                return kernel
+            try:
+                import time
+
+                import numba
+
+                started = time.perf_counter()
+                kernel = numba.njit(cache=False)(py_func)
+                self.compile_seconds += time.perf_counter() - started
+            except Exception as exc:
+                self._failed = f"numba unavailable: {exc}"
+                warnings.warn(
+                    f"numba backend disabled: {self._failed}",
+                    RuntimeWarning, stacklevel=2,
+                )
+                return None
+            self._kernels[key] = kernel
+        return kernel
+
+    _EMPTY_W = np.empty(0, dtype=np.float64)
+
+    def try_push(self, spec, values, read_values, batch, targets, weights) -> bool:
+        if not self._gate_common(spec, values, read_values, batch, weights):
+            return False
+        if not _i64(targets):
+            return False
+        kernel = self._kernel("push", _push_kernel)
+        if kernel is None:
+            return False
+        kernel(values, read_values, batch.phys, batch.counts, batch.starts,
+               batch.strides, targets,
+               weights if weights is not None else self._EMPTY_W,
+               weights is not None, spec.relax, spec.reduce)
+        self.engaged += 1
+        return True
+
+    def try_pull(self, spec, values, read_values, batch, in_sources, weights) -> bool:
+        if not self._gate_common(spec, values, read_values, batch, weights):
+            return False
+        if not _i64(in_sources):
+            return False
+        kernel = self._kernel("pull", _pull_kernel)
+        if kernel is None:
+            return False
+        kernel(values, read_values, batch.phys, batch.counts, batch.starts,
+               batch.strides, in_sources,
+               weights if weights is not None else self._EMPTY_W,
+               weights is not None, spec.relax, spec.reduce)
+        self.engaged += 1
+        return True
+
+    def try_push_lanes(self, spec, values_t, read_t, batch, targets, weights) -> bool:
+        if not self._gate_common(spec, values_t, read_t, batch, weights):
+            return False
+        if not _i64(targets) or values_t.ndim != 2:
+            return False
+        kernel = self._kernel("push_lanes", _push_lanes_kernel)
+        if kernel is None:
+            return False
+        kernel(values_t, read_t, batch.phys, batch.counts, batch.starts,
+               batch.strides, targets,
+               weights if weights is not None else self._EMPTY_W,
+               weights is not None, spec.relax, spec.reduce)
+        self.engaged += 1
+        return True
+
+    def try_or_scatter(self, new_w, frontier_w, batch, targets) -> bool:
+        if batch.phys is None:
+            return False
+        if not (_u64(new_w) and _u64(frontier_w) and _i64(batch.phys)
+                and _i64(batch.counts) and _i64(batch.starts)
+                and _i64(batch.strides) and _i64(targets)):
+            return False
+        if new_w.ndim != 1 or frontier_w.ndim != 1:
+            return False
+        kernel = self._kernel("or", _or_kernel)
+        if kernel is None:
+            return False
+        kernel(new_w, frontier_w, batch.phys, batch.counts, batch.starts,
+               batch.strides, targets)
+        self.engaged += 1
+        return True
+
+    def try_edge_mul_add(self, out, values, src, dst, scale) -> bool:
+        if not (_f64(out) and _f64(values) and _f64(scale)
+                and _i64(src) and _i64(dst)):
+            return False
+        kernel = self._kernel("edge_mul_add", _edge_mul_add_kernel)
+        if kernel is None:
+            return False
+        kernel(out, values, src, dst, scale)
+        self.engaged += 1
+        return True
+
+
+#: the default registry: the scalar baseline plus both JIT backends.
+NUMPY_BACKEND = register_backend(KernelBackend())
+CJIT_BACKEND = register_backend(CJitBackend())
+NUMBA_BACKEND = register_backend(NumbaBackend())
+
+
+def jit_backends() -> List[str]:
+    """Available backends that JIT-compile (cost-model candidates)."""
+    with _REGISTRY_LOCK:
+        items = list(_REGISTRY.items())
+    return sorted(
+        n for n, b in items if b.jit and b.is_available()
+    )

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import EngineError
+from repro.engine import kernels
 from repro.engine.program import PushProgram
 from repro.engine.push import EngineOptions, EngineResult
 from repro.engine.schedule import Scheduler
@@ -71,6 +72,10 @@ def run_pull(
 
     weights = reverse.weights
     in_sources = reverse.targets  # reverse target == original source
+    backend = kernels.resolve_backend(
+        options.kernel_backend, edges=reverse.num_edges
+    )
+    spec = kernels.spec_for(program) if backend.jit else None
 
     converged = False
     iterations = 0
@@ -88,8 +93,10 @@ def run_pull(
         edges_processed += batch.total_edges
 
         before = values.copy()
-        eidx = batch.edge_indices()
-        if len(eidx):
+        if batch.total_edges and not backend.try_pull(
+            spec, values, before, batch, in_sources, weights
+        ):
+            eidx = batch.edge_indices()
             neighbor_vals = before[in_sources[eidx]]
             w = weights[eidx] if weights is not None else None
             candidates = program.relax(neighbor_vals, w)
@@ -160,6 +167,10 @@ def run_pull_lanes(
 
     weights = reverse.weights
     in_sources = reverse.targets
+    backend = kernels.resolve_backend(
+        options.kernel_backend, edges=reverse.num_edges
+    )
+    spec = kernels.spec_for(program) if backend.jit else None
 
     converged = False
     iterations = 0
@@ -179,16 +190,30 @@ def run_pull_lanes(
         lane_iterations += num_lanes
 
         before_t = values_t.copy()
-        eidx = batch.edge_indices()
-        if len(eidx):
-            nbr = in_sources[eidx]
-            own = batch.sources_per_edge()
-            w = weights[eidx][:, None] if weights is not None else None
-            for lane in range(num_lanes):
-                candidates = program.lane_relax(
-                    before_t[lane][nbr][:, None], w
+        if batch.total_edges:
+            # each lane is one scalar pull launch over contiguous row
+            # views; the fused kernel's gates are deterministic per
+            # launch shape, so lanes fuse all-or-nothing in practice —
+            # any declined lane still runs the numpy path below
+            pending = [
+                lane for lane in range(num_lanes)
+                if not backend.try_pull(
+                    spec, values_t[lane], before_t[lane], batch,
+                    in_sources, weights,
                 )
-                program.reduce.scatter(values_t[lane], own, candidates[:, 0])
+            ]
+            if pending:
+                eidx = batch.edge_indices()
+                nbr = in_sources[eidx]
+                own = batch.sources_per_edge()
+                w = weights[eidx][:, None] if weights is not None else None
+                for lane in pending:
+                    candidates = program.lane_relax(
+                        before_t[lane][nbr][:, None], w
+                    )
+                    program.reduce.scatter(
+                        values_t[lane], own, candidates[:, 0]
+                    )
 
         changed = np.flatnonzero((values_t != before_t).any(axis=0))
         if len(changed) == 0:

@@ -25,7 +25,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import EngineError
+from repro.engine import kernels
 from repro.engine.frontier import DENSE_THRESHOLD, Frontier, LaneFrontier
+from repro.engine.kernels import KernelBackend, KernelSpec
 from repro.engine.program import PushProgram
 from repro.engine.schedule import Scheduler, ThreadBatch
 from repro.gpu.metrics import RunMetrics
@@ -56,6 +58,12 @@ class EngineOptions:
         Frontier occupancy above which the worklist switches to the
         dense (bitmap) representation — the Ligra heuristic; see
         :mod:`repro.engine.frontier`.
+    kernel_backend:
+        Which :mod:`repro.engine.kernels` backend runs the relax /
+        reduce inner loops.  ``None`` defers to
+        ``$REPRO_KERNEL_BACKEND`` and then to the measured cost
+        model's ``auto`` choice.  Every backend is bitwise identical;
+        this knob only trades speed.
     """
 
     worklist: bool = True
@@ -63,6 +71,7 @@ class EngineOptions:
     max_iterations: int = 100_000
     require_convergence: bool = True
     dense_threshold: float = DENSE_THRESHOLD
+    kernel_backend: Optional[str] = None
 
 
 @dataclass
@@ -131,6 +140,10 @@ def run_push(
     )
     weights = graph.weights
     targets = graph.targets
+    backend = kernels.resolve_backend(
+        options.kernel_backend, edges=graph.num_edges
+    )
+    spec = kernels.spec_for(program) if backend.jit else None
 
     converged = False
     iterations = 0
@@ -152,7 +165,10 @@ def run_push(
 
         before = values.copy()
         if options.sync_relaxation_blocks == 1:
-            _apply_batch(batch, program, values, before, targets, weights)
+            _apply_batch(
+                batch, program, values, before, targets, weights,
+                backend=backend, spec=spec,
+            )
         else:
             bounds = np.linspace(
                 0, batch.num_threads, options.sync_relaxation_blocks + 1
@@ -160,9 +176,11 @@ def run_push(
             for lo, hi in zip(bounds[:-1], bounds[1:]):
                 if hi > lo:
                     # later blocks read values already updated: relaxation
+                    # (read aliases write, so fused backends decline)
                     _apply_batch(
                         batch.slice(int(lo), int(hi)),
                         program, values, values, targets, weights,
+                        backend=backend, spec=spec,
                     )
 
         changed_mask = values != before
@@ -225,6 +243,11 @@ def run_push_lanes(
             num_lanes=0,
         )
 
+    backend = kernels.resolve_backend(
+        options.kernel_backend, edges=graph.num_edges
+    )
+    spec = kernels.spec_for(program) if backend.jit else None
+
     if (
         program.unit_hop_metric
         and graph.weights is None
@@ -232,7 +255,8 @@ def run_push_lanes(
         and options.sync_relaxation_blocks == 1
     ):
         return _run_bitpacked_hops(
-            scheduler, program, sources, options=options, simulator=simulator
+            scheduler, program, sources, options=options,
+            simulator=simulator, backend=backend,
         )
 
     # lane-major (S, n) layout internally: each lane's values live in
@@ -270,7 +294,10 @@ def run_push_lanes(
 
         before_t = values_t.copy()
         if options.sync_relaxation_blocks == 1:
-            _apply_batch_lanes(batch, program, values_t, before_t, targets, weights)
+            _apply_batch_lanes(
+                batch, program, values_t, before_t, targets, weights,
+                backend=backend, spec=spec,
+            )
         else:
             bounds = np.linspace(
                 0, batch.num_threads, options.sync_relaxation_blocks + 1
@@ -280,6 +307,7 @@ def run_push_lanes(
                     _apply_batch_lanes(
                         batch.slice(int(lo), int(hi)),
                         program, values_t, values_t, targets, weights,
+                        backend=backend, spec=spec,
                     )
 
         changed_t = values_t != before_t
@@ -314,6 +342,9 @@ def _apply_batch_lanes(
     read_values_t: np.ndarray,
     targets: np.ndarray,
     weights: Optional[np.ndarray],
+    *,
+    backend: Optional[KernelBackend] = None,
+    spec: Optional[KernelSpec] = None,
 ) -> None:
     """One launch, all lanes: a single edge gather feeds per-lane
     fused relax + scatter.
@@ -325,10 +356,18 @@ def _apply_batch_lanes(
     contiguous 1-D path.  ``filter_pushes`` is deliberately not
     consulted here: no lane-safe program defines one, and a scalar
     mask cannot describe per-lane usefulness.
+
+    A JIT kernel backend can take the whole launch — all lanes, no
+    edge-array temporaries — and is bitwise identical (same gather
+    order, same folds); any gate failure falls through to numpy.
     """
-    eidx = batch.edge_indices()
-    if len(eidx) == 0:
+    if batch.total_edges == 0:
         return
+    if backend is not None and backend.try_push_lanes(
+        spec, values_t, read_values_t, batch, targets, weights
+    ):
+        return
+    eidx = batch.edge_indices()
     spe = batch.sources_per_edge()
     dst = targets[eidx]
     w = weights[eidx][:, None] if weights is not None else None
@@ -344,6 +383,7 @@ def _run_bitpacked_hops(
     *,
     options: EngineOptions,
     simulator: Optional[GPUSimulator],
+    backend: Optional[KernelBackend] = None,
 ) -> EngineResult:
     """MS-BFS fast path: per-node visited sets bit-packed into uint64.
 
@@ -402,12 +442,18 @@ def _run_bitpacked_hops(
         if len(active) >= options.dense_threshold * max(n, 1):
             dense_iterations += 1
 
-        eidx = batch.edge_indices()
         new_w = np.zeros_like(visited_w)
-        if len(eidx):
-            np.bitwise_or.at(
-                new_w, targets[eidx], frontier_w[batch.sources_per_edge()]
-            )
+        if batch.total_edges:
+            # the OR is commutative and idempotent, so the fused
+            # kernel's edge order cannot matter — bitwise equal either
+            # way (the flat single-word form is the only one fused)
+            if not (flat and backend is not None and backend.try_or_scatter(
+                new_w, frontier_w, batch, targets
+            )):
+                eidx = batch.edge_indices()
+                np.bitwise_or.at(
+                    new_w, targets[eidx], frontier_w[batch.sources_per_edge()]
+                )
         new_w &= ~visited_w
         level += 1
 
@@ -462,16 +508,29 @@ def _apply_batch(
     read_values: np.ndarray,
     targets: np.ndarray,
     weights: Optional[np.ndarray],
+    *,
+    backend: Optional[KernelBackend] = None,
+    spec: Optional[KernelSpec] = None,
 ) -> None:
     """Relax one batch's edges and scatter-reduce into ``values``.
 
     ``read_values`` is the array source values are read from: the
     iteration-start snapshot under strict BSP, or ``values`` itself
     under synchronization relaxation.
+
+    When a JIT kernel backend accepts the launch, the whole gather /
+    relax / scatter runs fused in one pass over the thread descriptors
+    — bitwise identical to the numpy path below (same element order,
+    same folds).  Any gate failure (aliased read array, uncertified
+    program, wrong dtypes) falls through silently.
     """
-    eidx = batch.edge_indices()
-    if len(eidx) == 0:
+    if batch.total_edges == 0:
         return
+    if backend is not None and backend.try_push(
+        spec, values, read_values, batch, targets, weights
+    ):
+        return
+    eidx = batch.edge_indices()
     src_vals = read_values[batch.sources_per_edge()]
     w = weights[eidx] if weights is not None else None
     candidates = program.relax(src_vals, w)

@@ -30,7 +30,12 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.algorithms.multi_source import DEFAULT_MAX_LANES, multi_source_distances
+from repro.algorithms._dispatch import resolve_scheduler
+from repro.algorithms.multi_source import (
+    DEFAULT_MAX_LANES,
+    multi_source_distances,
+    resolve_multisource_mode,
+)
 from repro.baselines._run import run_algorithm
 from repro.baselines.base import ALGORITHMS
 from repro.engine.push import EngineOptions
@@ -118,12 +123,18 @@ class BatchExecution:
     ``traversals`` counts engine passes; ``lanes`` the per-source
     lanes those passes carried in total; ``traversals_saved`` the
     scalar passes lane batching avoided (``lanes - traversals`` when
-    the lane engine ran, 0 for per-source fallbacks).
+    the lane engine ran, 0 for per-source fallbacks).  ``strategy``
+    records what the planner actually chose — ``"lanes"`` or
+    ``"loop"`` from the cost model for distance fan-outs,
+    ``"per-source"`` / ``"shared"`` for the fixed shapes — so metrics
+    reflect the decision, not a guess (the default keeps old pickled
+    outcomes loadable across the IPC boundary).
     """
 
     traversals: int
     lanes: int
     traversals_saved: int
+    strategy: str = ""
 
 
 def run_sources_on_target(
@@ -146,20 +157,33 @@ def run_sources_on_target(
     """
     per_source: Dict[int, np.ndarray] = {}
     if algorithm in _DISTANCE_FANOUT:
+        # the planner resolves the cost model's lanes-vs-loop choice
+        # *here*, then passes it down explicitly — execution and the
+        # accounting below cannot diverge (sources are already the
+        # batch's deduplicated union)
+        scheduler = resolve_scheduler(target)
+        num = len(sources)
+        weighted = _DISTANCE_FANOUT[algorithm]
+        mode = "loop" if num <= 1 else resolve_multisource_mode(
+            algorithm="sssp" if weighted else "bfs",
+            num_sources=num,
+            num_edges=scheduler.graph.num_edges,
+        )
         rows = multi_source_distances(
-            target,
+            scheduler,
             list(sources),
-            weighted=_DISTANCE_FANOUT[algorithm],
+            weighted=weighted,
             options=options,
+            mode=mode,
         )
         per_source = {source: rows[i] for i, source in enumerate(sources)}
-        num = len(sources)
         traversals = (
-            math.ceil(num / DEFAULT_MAX_LANES) if num > 1 else num
+            math.ceil(num / DEFAULT_MAX_LANES) if mode == "lanes" else num
         )
         execution = BatchExecution(
             traversals=traversals, lanes=num,
             traversals_saved=num - traversals,
+            strategy=mode,
         )
     elif ALGORITHMS[algorithm].needs_source:  # sswp, bc: per-source engine runs
         for source in sources:
@@ -167,11 +191,14 @@ def run_sources_on_target(
             per_source[source] = values
         execution = BatchExecution(
             traversals=len(sources), lanes=len(sources), traversals_saved=0,
+            strategy="per-source",
         )
     else:  # cc, pr: one run shared by the whole batch
         values, _, _ = run_algorithm(target, algorithm, None, options, None)
         per_source[-1] = values
-        execution = BatchExecution(traversals=1, lanes=1, traversals_saved=0)
+        execution = BatchExecution(
+            traversals=1, lanes=1, traversals_saved=0, strategy="shared",
+        )
     return per_source, execution
 
 

@@ -861,6 +861,7 @@ class AnalyticsService:
                     ),
                     ipc_bytes=ipc_bytes if index == 0 else 0,
                     hydrate_hits=outcome.hydrate_hits if index == 0 else 0,
+                    strategy=execution.strategy if index == 0 else "",
                 )
             )
 

@@ -56,6 +56,9 @@ class QueryRecord:
     #: worker-side cache fills served from the shared disk tier
     #: instead of a rebuild (0 on the thread backend).
     hydrate_hits: int = 0
+    #: execution strategy the batch planner chose ("lanes", "loop",
+    #: "per-source", "shared"; attributed once per batch, "" otherwise).
+    strategy: str = ""
 
 
 class ServiceMetrics:
@@ -82,6 +85,8 @@ class ServiceMetrics:
         self.traversals_total = 0
         self.lanes_total = 0
         self.traversals_saved = 0
+        #: batches per planner strategy (the cost model's choices).
+        self.strategy_counts: Dict[str, int] = {}
         #: high-water mark of the submission queue.
         self.max_queue_depth = 0
         self._queue_depth = 0
@@ -122,6 +127,10 @@ class ServiceMetrics:
             self.lanes_total += record.lanes
             self.traversals_saved += record.traversals_saved
             self.hydrate_hits += record.hydrate_hits
+            if record.strategy:
+                self.strategy_counts[record.strategy] = (
+                    self.strategy_counts.get(record.strategy, 0) + 1
+                )
             for stage, seconds in record.stage_seconds.items():
                 if stage in self._stage_samples:
                     self._stage_samples[stage].append(seconds)
@@ -244,6 +253,15 @@ class ServiceMetrics:
                     if self.traversals_total else 0.0
                 ),
                 "traversals_saved": self.traversals_saved,
+                # batches per cost-model strategy choice (distance
+                # fan-outs report "lanes"/"loop"; fixed shapes report
+                # "per-source"/"shared").
+                "strategy_lanes": self.strategy_counts.get("lanes", 0),
+                "strategy_loop": self.strategy_counts.get("loop", 0),
+                "strategy_per_source": self.strategy_counts.get(
+                    "per-source", 0
+                ),
+                "strategy_shared": self.strategy_counts.get("shared", 0),
                 "queue_depth": self._queue_depth,
                 "max_queue_depth": self.max_queue_depth,
                 # process-backend telemetry; identically zero when
