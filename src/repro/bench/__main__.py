@@ -35,6 +35,7 @@ from repro.bench import (
     service_backend_sweep,
     service_throughput,
     service_trace_replay,
+    sharded_scaling,
     skew_sweep,
     speedup_scaling,
     table1_split_properties,
@@ -75,6 +76,7 @@ EXPERIMENTS = {
     "service": lambda scale: service_throughput(scale=scale),
     "service-backends": lambda scale: service_backend_sweep(scale=scale),
     "service-trace": lambda scale: service_trace_replay(scale=scale),
+    "sharded": lambda scale: sharded_scaling(scale=scale),
     "multisource": lambda scale: multisource_lanes(scale=scale),
     "kernels": lambda scale: kernel_backends(scale=scale),
 }

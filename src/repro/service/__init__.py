@@ -32,14 +32,27 @@ graph library's value is its reusable runtime, not its kernels alone):
   bridge, stdlib HTTP server, auth/rate-limit middleware, and a
   trace-replaying client), speaking the same trace-v1 wire schema;
   see ``docs/http-api.md``.  Imported lazily — ``import
-  repro.service.api`` — so non-network users pay nothing for it.
+  repro.service.api`` — so non-network users pay nothing for it;
+* :mod:`repro.service.sharding` / :mod:`repro.service.routing` —
+  the sharded serving tier: destination-partitioned shard executors
+  (in-process or remote over ``tcp://``), a scatter-gather router
+  whose per-algorithm reduces keep result digests bitwise-identical
+  to the single-engine path, and a policy layer with per-tenant
+  token quotas, priority classes, and cost-model-aware route
+  selection (``serve --shards N``); see ``docs/sharding.md``.
 
 CLI: ``python -m repro query`` (one-shot), ``python -m repro serve``
 (synthetic workload driver, trace-driven via ``--trace``/``--record``,
 or the network front door via ``--http HOST:PORT``).
 """
 
-from repro.errors import ServiceOverloadError, UnknownGraphError, WorkerLost
+from repro.errors import (
+    QuotaExhaustedError,
+    ServiceOverloadError,
+    ShardLost,
+    UnknownGraphError,
+    WorkerLost,
+)
 from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
 from repro.service.batching import QueryBatch, group_requests
 from repro.service.catalog import CatalogStats, GraphCatalog
@@ -73,6 +86,22 @@ from repro.service.replay import (
     replay_trace,
     resolve_trace_graphs,
 )
+from repro.service.routing import (
+    PRIORITY_CLASSES,
+    RouteDecision,
+    RoutingPolicy,
+    TenantQuota,
+    parse_priority_arg,
+    parse_quota_arg,
+)
+from repro.service.sharding import (
+    LocalShard,
+    RemoteShardHandle,
+    ShardHostServer,
+    ShardSet,
+    ShardedAnalyticsService,
+    parse_host_port,
+)
 from repro.service.workers import BatchOutcome, BatchSpec, execute_pipeline
 
 __all__ = [
@@ -84,16 +113,27 @@ __all__ = [
     "CatalogStats",
     "DigestMismatch",
     "GraphCatalog",
+    "LocalShard",
+    "PRIORITY_CLASSES",
     "QueryBatch",
     "QueryPlan",
     "QueryRecord",
     "QueryRequest",
     "QueryResult",
     "QueryTicket",
+    "QuotaExhaustedError",
+    "RemoteShardHandle",
     "ReplayReport",
+    "RouteDecision",
+    "RoutingPolicy",
     "ServiceMetrics",
     "ServiceOverloadError",
+    "ShardHostServer",
+    "ShardLost",
+    "ShardSet",
+    "ShardedAnalyticsService",
     "StageTimings",
+    "TenantQuota",
     "TRACE_VERSION",
     "Trace",
     "TraceHeader",
@@ -111,6 +151,9 @@ __all__ = [
     "group_requests",
     "load_artifact",
     "load_trace",
+    "parse_host_port",
+    "parse_priority_arg",
+    "parse_quota_arg",
     "parse_request_payload",
     "percentile",
     "plan_query",

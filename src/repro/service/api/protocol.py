@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import (
+    QuotaExhaustedError,
     ServiceError,
     ServiceOverloadError,
     SplitSafetyError,
@@ -52,6 +53,9 @@ from repro.service.query import QueryRequest, QueryResult
 #: error-body ``type`` slugs, by exception class (order matters:
 #: subclasses before bases).
 _ERROR_TYPES: Tuple[Tuple[type, str, int], ...] = (
+    # per-tenant quota exhaustion is the client's pace problem (429),
+    # service-wide overload is ours (503); both carry retry-after
+    (QuotaExhaustedError, "quota_exhausted", 429),
     (ServiceOverloadError, "overloaded", 503),
     (UnknownGraphError, "unknown_graph", 404),
     (SplitSafetyError, "split_unsafe", 422),
@@ -179,6 +183,7 @@ def to_query_request(
             degree_bound=request.degree_bound,
             timeout_s=default_timeout_s,
             options=request.options,
+            tenant=request.tenant,
             request_id=request.request_id,
         )
     return request

@@ -508,7 +508,7 @@ class AnalyticsService:
         self.process_fallback = bool(process_fallback)
         self._recorder = recorder
         self._graphs: Dict[str, CSRGraph] = {}
-        self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(maxsize=queue_size)
+        self._queue: "queue.Queue[Optional[_WorkItem]]" = self._make_queue(queue_size)
         self._stopped = False
         self._shared_tmp: Optional[str] = None
         self._process: Optional[_ProcessBackend] = None
@@ -539,6 +539,16 @@ class AnalyticsService:
     def workers(self) -> int:
         """Dispatcher-thread count (and process-pool size, if any)."""
         return len(self._workers)
+
+    def _make_queue(self, queue_size: int) -> "queue.Queue[Optional[_WorkItem]]":
+        """Build the submission queue; the subclass discipline hook.
+
+        The base service is strictly FIFO.  The sharded tier
+        (:mod:`repro.service.sharding`) overrides this with a priority
+        queue so its routing policy's priority classes order admission
+        — everything else about submission and dispatch is shared.
+        """
+        return queue.Queue(maxsize=queue_size)
 
     # ------------------------------------------------------------------
     # Graph registry
@@ -672,6 +682,7 @@ class AnalyticsService:
             degree_bound=request.degree_bound,
             timeout_s=self.default_timeout_s,
             options=request.options,
+            tenant=request.tenant,
             request_id=request.request_id,
         )
 
@@ -798,20 +809,7 @@ class AnalyticsService:
     ) -> None:
         remaining_s = min(t.deadline for t in tickets) - time.perf_counter()
         ipc_bytes_before = self.metrics.ipc_bytes_snapshot()
-        if self._process is not None:
-            outcome = self._execute_on_processes(batch, remaining_s)
-        else:
-            outcome = execute_pipeline(
-                self.catalog,
-                batch.graph,
-                algorithm=batch.algorithm,
-                transform=batch.transform,
-                degree_bound=batch.degree_bound,
-                options=batch.options,
-                sources=batch.sources,
-                remaining_s=remaining_s,
-                prepare=self._prepare,
-            )
+        outcome = self._run_batch(batch, remaining_s)
         ipc_bytes = self.metrics.ipc_bytes_snapshot() - ipc_bytes_before
 
         per_request = fan_out_per_request(batch.requests, outcome.per_source)
@@ -864,6 +862,31 @@ class AnalyticsService:
                     strategy=execution.strategy if index == 0 else "",
                 )
             )
+
+    def _run_batch(self, batch: QueryBatch, remaining_s: float) -> BatchOutcome:
+        """Execute one coalesced batch; the subclass execution hook.
+
+        Everything around it — claiming, queue-deadline expiry,
+        fan-out, ticket resolution, metrics attribution — is shared;
+        only *where the pipeline runs* differs between backends.  The
+        base implementation is the thread/process choice; the sharded
+        router (:class:`repro.service.sharding.ShardedAnalyticsService`)
+        overrides it to try the scatter-gather path first and falls
+        back here.
+        """
+        if self._process is not None:
+            return self._execute_on_processes(batch, remaining_s)
+        return execute_pipeline(
+            self.catalog,
+            batch.graph,
+            algorithm=batch.algorithm,
+            transform=batch.transform,
+            degree_bound=batch.degree_bound,
+            options=batch.options,
+            sources=batch.sources,
+            remaining_s=remaining_s,
+            prepare=self._prepare,
+        )
 
     def _execute_on_processes(
         self, batch: QueryBatch, remaining_s: float

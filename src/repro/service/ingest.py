@@ -101,6 +101,8 @@ class TraceRequest:
     timeout_s: Optional[float] = None
     #: seconds since the previous request record (re-paced by replay).
     delta_s: float = 0.0
+    #: accounting label for quota/priority policy ("" = default tenant).
+    tenant: str = ""
 
     def to_query_request(
         self, graph: Union[str, CSRGraph, None] = None
@@ -119,6 +121,7 @@ class TraceRequest:
             transform=self.transform,
             degree_bound=self.degree_bound or None,
             timeout_s=self.timeout_s,
+            tenant=self.tenant,
         )
 
 
@@ -325,6 +328,11 @@ def _parse_request(payload: dict, line: int, source: str) -> TraceRequest:
             line=line,
             source=source,
         )
+    tenant = payload.get("tenant", "")
+    if not isinstance(tenant, str):
+        raise TraceFormatError(
+            f"tenant must be a string, got {tenant!r}", line=line, source=source
+        )
     return TraceRequest(
         trace_id=int(_require(payload, "id", line, source)),
         algorithm=algorithm,
@@ -334,6 +342,7 @@ def _parse_request(payload: dict, line: int, source: str) -> TraceRequest:
         degree_bound=int(payload.get("k", 0) or 0),
         timeout_s=float(timeout_s) if timeout_s is not None else None,
         delta_s=float(delta_s),
+        tenant=tenant,
     )
 
 
@@ -366,7 +375,7 @@ def _event_payload(event: TraceEvent) -> dict:
             payload["note"] = event.note
         return payload
     if isinstance(event, TraceRequest):
-        return {
+        payload = {
             "type": "request",
             "id": event.trace_id,
             "algorithm": event.algorithm,
@@ -377,6 +386,11 @@ def _event_payload(event: TraceEvent) -> dict:
             "timeout_s": event.timeout_s,
             "delta_s": round(event.delta_s, 6),
         }
+        # only stamped when set, so tenant-less traces (including every
+        # pre-existing golden trace) round-trip byte-identically
+        if event.tenant:
+            payload["tenant"] = event.tenant
+        return payload
     return {
         "type": "result",
         "id": event.trace_id,
@@ -662,6 +676,7 @@ class TraceRecorder:
                     degree_bound=request.degree_bound or 0,
                     timeout_s=request.timeout_s,
                     delta_s=delta,
+                    tenant=request.tenant,
                 )
             )
 

@@ -52,6 +52,11 @@ class QueryRequest:
         deadline too tight for transform construction degrades to the
         untransformed CSR instead of blowing the budget; a request
         still queued past its deadline fails with a timeout.
+    tenant:
+        Who is asking — an opaque accounting label (``""`` = the
+        default tenant).  Execution ignores it entirely; the sharded
+        tier's routing policy (:mod:`repro.service.routing`) charges
+        token quotas and assigns priority classes by it.
     """
 
     algorithm: str
@@ -61,6 +66,7 @@ class QueryRequest:
     degree_bound: Optional[int] = None
     timeout_s: Optional[float] = None
     options: EngineOptions = EngineOptions()
+    tenant: str = ""
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     def __post_init__(self) -> None:
@@ -78,6 +84,8 @@ class QueryRequest:
             raise ServiceError(f"{self.algorithm} takes no sources")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ServiceError(f"timeout must be positive, got {self.timeout_s}")
+        if not isinstance(self.tenant, str):
+            raise ServiceError(f"tenant must be a string, got {self.tenant!r}")
 
     @staticmethod
     def single(

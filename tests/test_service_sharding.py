@@ -1,0 +1,446 @@
+"""Sharded serving tier: partition invariants, digest parity, policy.
+
+The tier's one load-bearing promise is that scatter-gather answers are
+*bitwise* the single-engine answers — the golden traces replay with
+zero digest mismatches at any shard count, on either execution
+backend, with shards in-process or remote.  These tests pin that
+promise from the bottom up: partition invariants first, per-algorithm
+value parity next, then whole-trace replays, the ShardLost fallback
+contract, and the routing policy (quotas, priorities, cost-model
+placement).  CI's ``sharded-replay`` job re-runs this file and the CLI
+replay gate across the full shards x backend matrix.
+"""
+
+import socket
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines._run import run_algorithm
+from repro.baselines.base import prepare_graph
+from repro.engine.push import EngineOptions
+from repro.errors import QuotaExhaustedError, ServiceError, ShardLost
+from repro.graph.generators import rmat
+from repro.multigpu import inedge_owner, inedge_partition
+from repro.service import (
+    GraphCatalog,
+    QueryRequest,
+    RoutingPolicy,
+    ShardHostServer,
+    ShardSet,
+    ShardedAnalyticsService,
+    TenantQuota,
+    parse_host_port,
+    parse_priority_arg,
+    parse_quota_arg,
+    replay_trace,
+)
+from repro.service.sharding import _PriorityWorkQueue
+
+TRACES = Path(__file__).parent / "traces"
+GOLDEN = sorted(p.name for p in TRACES.glob("*.jsonl"))
+
+MONOTONE = ("bfs", "sssp", "sswp", "cc")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(256, 2048, seed=7, weight_range=(0.5, 2.0))
+
+
+@pytest.fixture(scope="module")
+def shard_host():
+    server = ShardHostServer(("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address
+    server.shutdown()
+    server.server_close()
+
+
+class TestInedgePartition:
+    """Destination ownership: the invariant the reduces lean on."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_owned_sets_partition_the_nodes(self, graph, shards):
+        parts = inedge_partition(graph, shards)
+        owned = np.concatenate([p.owned for p in parts])
+        assert np.array_equal(np.sort(owned), np.arange(graph.num_nodes))
+
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_every_edge_lands_with_its_destination(self, graph, shards):
+        parts = inedge_partition(graph, shards)
+        owner = inedge_owner(graph, shards)
+        assert sum(p.num_edges for p in parts) == graph.num_edges
+        for part in parts:
+            dst = part.subgraph.targets
+            assert np.all(owner[dst] == part.device)
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_slice_preserves_global_edge_order(self, graph, shards):
+        """A slice's CSR edge list is the global list, filtered.
+
+        This is what makes sharded PageRank bitwise: each shard's
+        ``np.add.at`` walks its edges in exactly the order the
+        unsharded kernel would have reached them.
+        """
+        owner = inedge_owner(graph, shards)
+        src_all, dst_all = graph.edge_sources(), graph.targets
+        for part in inedge_partition(graph, shards):
+            keep = owner[dst_all] == part.device
+            assert np.array_equal(part.subgraph.edge_sources(), src_all[keep])
+            assert np.array_equal(part.subgraph.targets, dst_all[keep])
+
+    def test_subgraph_keeps_global_node_count(self, graph):
+        for part in inedge_partition(graph, 3):
+            assert part.subgraph.num_nodes == graph.num_nodes
+
+
+class TestScatterGatherParity:
+    """Sharded answers == single-engine answers, bit for bit."""
+
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    @pytest.mark.parametrize("algorithm", MONOTONE)
+    def test_monotone_bitwise(self, graph, algorithm, shards):
+        prepared = prepare_graph(graph, algorithm)
+        shardset = ShardSet.build(prepared, shards)
+        try:
+            sources = () if algorithm == "cc" else (0, 5)
+            per_source = shardset.run_monotone(algorithm, "none", 0, sources)
+            for source in sources or (None,):
+                want, _, _ = run_algorithm(
+                    prepared, algorithm, source, EngineOptions(), None
+                )
+                key = -1 if source is None else source
+                assert np.array_equal(per_source[key], want)
+        finally:
+            shardset.close()
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_pagerank_bitwise(self, graph, shards):
+        prepared = prepare_graph(graph, "pr")
+        want, _, _ = run_algorithm(prepared, "pr", None, EngineOptions(), None)
+        shardset = ShardSet.build(prepared, shards)
+        try:
+            assert np.array_equal(shardset.run_pagerank()[-1], want)
+        finally:
+            shardset.close()
+
+    @pytest.mark.parametrize("kind", ["virtual", "virtual+"])
+    def test_virtual_overlay_plans_bitwise(self, graph, kind):
+        """Virtual plans run per-shard overlays of the slices.
+
+        The fixpoint is transform-invariant, so the overlay only
+        changes the relaxation schedule — values must still match.
+        """
+        prepared = prepare_graph(graph, "bfs")
+        want, _, _ = run_algorithm(prepared, "bfs", 0, EngineOptions(), None)
+        shardset = ShardSet.build(prepared, 3)
+        try:
+            per_source = shardset.run_monotone("bfs", kind, 8, (0,))
+            assert np.array_equal(per_source[0], want)
+        finally:
+            shardset.close()
+
+    def test_overlays_cached_per_shard(self, graph):
+        prepared = prepare_graph(graph, "bfs")
+        shardset = ShardSet.build(prepared, 2)
+        try:
+            from repro.service.sharding import ShardRunStats
+
+            cold, warm = ShardRunStats(), ShardRunStats()
+            shardset.run_monotone("bfs", "virtual", 8, (0,), stats=cold)
+            shardset.run_monotone("bfs", "virtual", 8, (1,), stats=warm)
+            assert all(origin == "built" for origin in cold.cache_origins)
+            assert all(origin == "memory" for origin in warm.cache_origins)
+        finally:
+            shardset.close()
+
+
+class TestGoldenTracesSharded:
+    """The acceptance gate: golden traces through the sharded router."""
+
+    @pytest.mark.parametrize("name", GOLDEN)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_replays_digest_clean(self, name, shards):
+        service = ShardedAnalyticsService(shards=shards, workers=2)
+        try:
+            report = replay_trace(str(TRACES / name), service=service)
+            summary = service.metrics.summary()
+        finally:
+            service.close()
+        assert report.ok, "\n".join(str(m) for m in report.mismatches)
+        assert report.digests_checked == report.requests_submitted
+        assert summary["shards"] == shards
+        assert summary["sharded_batches"] > 0
+        assert summary["shard_supersteps"] > 0
+        # every shard pulled its weight on every sharded superstep
+        steps = [summary[f"shard{i}_steps"] for i in range(shards)]
+        assert len(set(steps)) == 1 and steps[0] > 0
+
+    def test_single_shard_is_the_degraded_mode(self):
+        """shards=1 answers everything through the single-engine path."""
+        service = ShardedAnalyticsService(shards=1, workers=2)
+        try:
+            report = replay_trace(str(TRACES / "mixed.jsonl"), service=service)
+            summary = service.metrics.summary()
+        finally:
+            service.close()
+        assert report.ok
+        assert summary["sharded_batches"] == 0
+
+
+class TestRouteMisses:
+    """What must *not* shard, quietly taking the single-engine path."""
+
+    def test_bc_routes_to_single_engine(self, graph):
+        with ShardedAnalyticsService(shards=2, workers=2) as service:
+            service.register("g", graph)
+            result = service.run(QueryRequest.single("bc", "g", 0))
+            assert result.ok
+            assert service.metrics.summary()["sharded_batches"] == 0
+
+    def test_transformed_pagerank_routes_to_single_engine(self, graph):
+        with ShardedAnalyticsService(shards=2, workers=2) as service:
+            service.register("g", graph)
+            result = service.run(QueryRequest("pr", "g", transform="virtual"))
+            assert result.ok and result.transform == "virtual"
+            assert service.metrics.summary()["sharded_batches"] == 0
+
+    def test_planner_errors_survive_sharding(self, graph):
+        """pr/udt must fail with the planner's exact message."""
+        with ShardedAnalyticsService(shards=2, workers=2) as service:
+            service.register("g", graph)
+            sharded = service.run(QueryRequest("pr", "g", transform="udt"))
+        with ShardedAnalyticsService(shards=1, workers=2) as service:
+            service.register("g", graph)
+            single = service.run(QueryRequest("pr", "g", transform="udt"))
+        assert not sharded.ok and sharded.error == single.error
+
+    def test_auto_route_consults_edge_threshold(self, graph):
+        policy = RoutingPolicy(route="auto", min_sharded_edges=10**9)
+        with ShardedAnalyticsService(
+            shards=2, workers=2, policy=policy
+        ) as service:
+            service.register("g", graph)
+            assert service.run(QueryRequest.single("bfs", "g", 0)).ok
+            assert service.metrics.summary()["sharded_batches"] == 0
+        policy = RoutingPolicy(route="auto", min_sharded_edges=1)
+        with ShardedAnalyticsService(
+            shards=2, workers=2, policy=policy
+        ) as service:
+            service.register("g", graph)
+            assert service.run(QueryRequest.single("bfs", "g", 0)).ok
+            assert service.metrics.summary()["sharded_batches"] == 1
+
+
+class TestRemoteShards:
+    """The tcp:// shard transport: parity, then the loss contract."""
+
+    def test_remote_parity_and_trace_replay(self, graph, shard_host):
+        prepared = prepare_graph(graph, "sssp")
+        shardset = ShardSet.build(prepared, 3, remotes=[shard_host])
+        try:
+            want, _, _ = run_algorithm(
+                prepared, "sssp", 0, EngineOptions(), None
+            )
+            per_source = shardset.run_monotone("sssp", "none", 0, (0,))
+            assert np.array_equal(per_source[0], want)
+        finally:
+            shardset.close()
+        service = ShardedAnalyticsService(
+            shards=2, workers=2, shard_remotes=[shard_host]
+        )
+        try:
+            report = replay_trace(
+                str(TRACES / "mixed.jsonl"), service=service
+            )
+            assert report.ok, "\n".join(str(m) for m in report.mismatches)
+            assert service.metrics.summary()["sharded_batches"] > 0
+        finally:
+            service.close()
+
+    def _dead_address(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()
+        probe.close()
+        return address
+
+    def test_lost_shard_degrades_to_single_engine(self, graph):
+        with ShardedAnalyticsService(
+            shards=2, workers=2, shard_remotes=[self._dead_address()]
+        ) as service:
+            service.register("g", graph)
+            result = service.run(QueryRequest.single("bfs", "g", 0))
+            summary = service.metrics.summary()
+        assert result.ok and result.degraded
+        assert summary["shard_fallbacks"] == 1
+
+    def test_lost_shard_is_typed_when_fallback_disabled(self, graph):
+        with ShardedAnalyticsService(
+            shards=2, workers=2,
+            shard_remotes=[self._dead_address()], shard_fallback=False,
+        ) as service:
+            service.register("g", graph)
+            result = service.run(QueryRequest.single("bfs", "g", 0))
+        assert not result.ok
+        assert "lost" in result.error and "unreachable" in result.error
+
+    def test_shard_lost_names_the_shard(self):
+        exc = ShardLost("no route to host", shard=1)
+        assert "shard" in str(exc) and "no route to host" in str(exc)
+
+    def test_parse_host_port(self):
+        assert parse_host_port("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_host_port("tcp://h:1") == ("h", 1)
+        with pytest.raises(ServiceError):
+            parse_host_port("no-port")
+
+
+class TestQuotas:
+    """Token buckets at submission, 429 at the HTTP edge."""
+
+    def test_bucket_refills_at_rate(self):
+        clock = [0.0]
+        policy = RoutingPolicy(
+            quotas={"a": TenantQuota(rate=1.0, burst=2.0)},
+            clock=lambda: clock[0],
+        )
+        assert policy.try_admit("a") == 0.0
+        assert policy.try_admit("a") == 0.0
+        wait = policy.try_admit("a")
+        assert wait == pytest.approx(1.0)
+        clock[0] = 1.5
+        assert policy.try_admit("a") == 0.0
+        # unmetered tenants (the default tenant included) always pass
+        for _ in range(100):
+            assert policy.try_admit("") == 0.0
+
+    def test_admit_raises_typed_with_retry_after(self):
+        policy = RoutingPolicy(
+            quotas={"a": TenantQuota(rate=2.0, burst=1.0)}, clock=lambda: 0.0
+        )
+        policy.admit(QueryRequest("pr", "g", tenant="a"))
+        with pytest.raises(QuotaExhaustedError) as info:
+            policy.admit(QueryRequest("pr", "g", tenant="a"))
+        assert info.value.tenant == "a"
+        assert info.value.retry_after_s == pytest.approx(0.5)
+
+    def test_service_refuses_over_quota_submissions(self, graph):
+        policy = RoutingPolicy(quotas={"a": TenantQuota(rate=0.001, burst=1.0)})
+        with ShardedAnalyticsService(
+            shards=2, workers=2, policy=policy
+        ) as service:
+            service.register("g", graph)
+            first = QueryRequest.single("bfs", "g", 0, tenant="a")
+            assert service.run(first).ok
+            with pytest.raises(QuotaExhaustedError):
+                service.submit(QueryRequest.single("bfs", "g", 1, tenant="a"))
+            assert service.metrics.summary()["quota_rejected"] == 1
+            # other tenants are unaffected
+            assert service.run(QueryRequest.single("bfs", "g", 2)).ok
+
+    def test_http_maps_quota_to_429(self):
+        from repro.service.api.protocol import error_response
+
+        response = error_response(QuotaExhaustedError("a", retry_after_s=3.2))
+        assert response.status == 429
+        assert response.payload["error"]["type"] == "quota_exhausted"
+        assert response.headers["retry-after"] == "4"
+
+    def test_parse_quota_arg(self):
+        tenant, quota = parse_quota_arg("alice=2.5:8")
+        assert tenant == "alice" and quota == TenantQuota(rate=2.5, burst=8.0)
+        assert parse_quota_arg("bob=0.5")[1].burst == 1.0
+        for bad in ("alice", "alice=", "=2", "alice=fast"):
+            with pytest.raises(ServiceError):
+                parse_quota_arg(bad)
+
+
+class TestPriorities:
+    """Priority classes order the backlog; FIFO within a class."""
+
+    def test_parse_priority_arg(self):
+        assert parse_priority_arg("a=interactive") == ("a", 0)
+        assert parse_priority_arg("b=batch") == ("b", 20)
+        assert parse_priority_arg("c=7") == ("c", 7)
+        with pytest.raises(ServiceError):
+            parse_priority_arg("c=urgent")
+
+    def test_queue_orders_by_priority_then_fifo(self):
+        q = _PriorityWorkQueue(0, priority_of=lambda item: item[0])
+        q.put((20, "batch-1"))
+        q.put((0, "interactive"))
+        q.put((20, "batch-2"))
+        q.put(None)  # shutdown sentinel drains after real work
+        assert q.get() == (0, "interactive")
+        assert q.get() == (20, "batch-1")
+        assert q.get() == (20, "batch-2")
+        assert q.get() is None
+
+    def test_service_serves_interactive_before_batch(self, graph, monkeypatch):
+        """With one held dispatcher, queued interactive work overtakes batch."""
+        policy = RoutingPolicy(priorities={"vip": 0, "bulk": 20})
+        order = []
+        gate = threading.Event()
+        original = ShardedAnalyticsService._run_batch
+
+        def recording(self, batch, remaining_s):
+            tenant = batch.requests[0].tenant
+            if tenant == "":
+                gate.wait(30)  # hold the dispatcher while others queue
+            else:
+                order.append(tenant)
+            return original(self, batch, remaining_s)
+
+        monkeypatch.setattr(ShardedAnalyticsService, "_run_batch", recording)
+        with ShardedAnalyticsService(
+            shards=1, workers=1, policy=policy
+        ) as service:
+            service.register("g", graph)
+            blocker = service.submit(QueryRequest.single("bfs", "g", 0))
+            bulk = [
+                service.submit(
+                    QueryRequest.single("bfs", "g", i, tenant="bulk")
+                )
+                for i in range(1, 4)
+            ]
+            vip = service.submit(
+                QueryRequest.single("bfs", "g", 9, tenant="vip")
+            )
+            gate.set()
+            for ticket in [blocker, vip, *bulk]:
+                assert ticket.result(timeout=60).ok
+        assert order[0] == "vip"
+
+
+class TestTenantWire:
+    """Tenant tags survive the trace wire; old traces stay identical."""
+
+    def test_tenant_round_trips_through_recorded_trace(self, graph, tmp_path):
+        from repro.service import TraceRecorder, load_trace
+
+        path = tmp_path / "t.jsonl"
+        recorder = TraceRecorder(str(path), graphs={})
+        with ShardedAnalyticsService(
+            shards=2, workers=2, recorder=recorder
+        ) as service:
+            service.register("g", graph)
+            assert service.run(
+                QueryRequest.single("bfs", "g", 0, tenant="alice")
+            ).ok
+        recorder.close()
+        trace = load_trace(str(path))
+        assert trace.requests[0].tenant == "alice"
+        assert trace.requests[0].to_query_request().tenant == "alice"
+
+    def test_untenanted_requests_emit_no_tenant_field(self):
+        from repro.service.ingest import TraceRequest, format_trace_line
+
+        line = format_trace_line(
+            TraceRequest(trace_id=1, algorithm="pr", graph="g")
+        )
+        assert "tenant" not in line

@@ -8,7 +8,10 @@ exits non-zero listing anything that does not resolve:
 * a relative path target must exist (file or directory);
 * a ``#fragment`` on a markdown target must match a heading in that
   file (GitHub anchor rules: lowercase, punctuation stripped, spaces
-  to dashes);
+  to dashes; repeated headings get ``-1``, ``-2``, ... suffixes);
+* every ``docs/*.md`` file must be linked from the README's
+  documentation index — a manual page nobody can discover is a
+  manual page that silently rots;
 * external schemes (``http:``, ``https:``, ``mailto:``) are ignored —
   this guards repo self-consistency, not the internet.
 
@@ -49,8 +52,22 @@ def github_anchor(heading: str) -> str:
 
 
 def anchors_of(path: Path) -> set:
+    """Every anchor id the file's headings produce.
+
+    GitHub disambiguates repeated headings by appending ``-1``,
+    ``-2``, ... to the second and later occurrences, so two "Example"
+    sections yield ``example`` and ``example-1`` — both are valid
+    link targets.
+    """
     content = path.read_text(encoding="utf-8")
-    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(content)}
+    anchors: set = set()
+    seen: dict = {}
+    for match in HEADING_RE.finditer(content):
+        anchor = github_anchor(match.group(1))
+        count = seen.get(anchor, 0)
+        seen[anchor] = count + 1
+        anchors.add(anchor if count == 0 else f"{anchor}-{count}")
+    return anchors
 
 
 def markdown_files() -> list:
@@ -93,9 +110,39 @@ def check_file(path: Path) -> list:
     return problems
 
 
+def check_readme_index() -> list:
+    """Every ``docs/*.md`` page must be reachable from the README.
+
+    The README's documentation table is the entry point readers
+    actually use; a page absent from it is effectively unpublished,
+    so its absence is an error, not a style nit.
+    """
+    readme = REPO_ROOT / "README.md"
+    docs_dir = REPO_ROOT / "docs"
+    if not readme.exists() or not docs_dir.is_dir():
+        return []
+    content = readme.read_text(encoding="utf-8")
+    linked = set()
+    for match in LINK_RE.finditer(content):
+        raw = match.group(1).partition("#")[0]
+        if not raw or raw.startswith(EXTERNAL):
+            continue
+        resolved = (readme.parent / raw).resolve()
+        if resolved.suffix == ".md" and docs_dir in resolved.parents:
+            linked.add(resolved)
+    problems = []
+    for page in sorted(docs_dir.glob("*.md")):
+        if page.resolve() not in linked:
+            problems.append(
+                f"README.md: docs page not in the documentation index: "
+                f"{page.relative_to(REPO_ROOT)}"
+            )
+    return problems
+
+
 def main() -> int:
     files = markdown_files()
-    problems = []
+    problems = check_readme_index()
     for path in files:
         problems.extend(check_file(path))
     if problems:
