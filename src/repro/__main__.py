@@ -13,6 +13,9 @@ Subcommands::
     python -m repro serve <dataset> [...]        # drive a synthetic
                                                  # workload through the
                                                  # concurrent service
+    python -m repro forecast <trace> [...]       # mine traces into a
+                                                 # warm-set plan for
+                                                 # serve --prewarm
     python -m repro calibrate                    # measure this machine
                                                  # and cache the cost-
                                                  # model profile
@@ -199,10 +202,109 @@ def _apply_kernel_backend(args) -> None:
     os.environ["REPRO_KERNEL_BACKEND"] = choice
 
 
+def _apply_catalog_policy(args) -> None:
+    """Pin the catalog eviction policy for this process tree.
+
+    Same shape as :func:`_apply_kernel_backend`: the choice travels as
+    ``$REPRO_CATALOG_POLICY`` so every :class:`GraphCatalog` this
+    process builds — including the ones process-pool workers build for
+    the shared write-through tier — evicts by the same rules
+    (docs/cache-economics.md).  Validated eagerly.
+    """
+    choice = getattr(args, "catalog_policy", None)
+    if choice is None:
+        return
+    from repro.service import CATALOG_POLICY_ENV, resolve_policy
+
+    os.environ[CATALOG_POLICY_ENV] = resolve_policy(choice)
+
+
+def _load_warm_plan(args):
+    """The warm-set plan the serve flags describe, or ``None``."""
+    plan_path = getattr(args, "prewarm", None)
+    trace_path = getattr(args, "prewarm_from_trace", None)
+    if plan_path and trace_path:
+        raise TigrError(
+            "--prewarm and --prewarm-from-trace are mutually exclusive"
+        )
+    if plan_path:
+        from repro.service import load_plan
+
+        return load_plan(plan_path)
+    if trace_path:
+        from repro.service import forecast_traces
+
+        return forecast_traces(
+            [trace_path],
+            on_malformed=getattr(args, "malformed", "strict"),
+        )
+    return None
+
+
+def _start_prewarmer(args, service, graphs=None):
+    """Kick off background pre-warming when asked; returns it or None.
+
+    With ``--prewarm-wait S`` the call blocks up to ``S`` seconds
+    (0 = until done) and prints a summary — the shape trace replays
+    and benchmarks want, where "cold start" means *before* the warm
+    set exists.
+    """
+    plan = _load_warm_plan(args)
+    if plan is None:
+        return None
+    from repro.service import Prewarmer
+
+    prewarmer = Prewarmer(
+        service, plan, graphs=graphs,
+        top=getattr(args, "prewarm_top", 0) or 0,
+    )
+    prewarmer.start()
+    wait = getattr(args, "prewarm_wait", None)
+    if wait is not None:
+        prewarmer.join(timeout=wait if wait > 0 else None)
+        print(f"prewarm: built={prewarmer.built} "
+              f"already_warm={prewarmer.already_warm} "
+              f"skipped={prewarmer.skipped}", flush=True)
+        for error in prewarmer.errors:
+            print(f"prewarm skip: {error}", file=sys.stderr)
+    return prewarmer
+
+
+def cmd_forecast(args) -> int:
+    """``forecast``: mine recorded traces into a warm-set plan."""
+    from repro.service import forecast_traces, save_plan
+
+    plan = forecast_traces(
+        args.traces, buckets=args.buckets, on_malformed=args.malformed
+    )
+    shown = plan.top(args.top) if args.top else plan
+    if args.json:
+        import json
+
+        print(json.dumps(shown.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"warm-set forecast from {len(plan.sources)} trace(s): "
+              f"{plan.requests_total} request(s) over "
+              f"{plan.trace_seconds:.1f}s, {len(plan.entries)} cacheable "
+              f"artifact(s), {plan.uncacheable} uncacheable")
+        if shown.entries:
+            print(f"  {'score':>10s} {'reqs':>5s} {'est build':>10s}  artifact")
+        for entry in shown.entries:
+            print(f"  {entry.score:10.4f} {entry.requests:5d} "
+                  f"{entry.est_build_s:9.4f}s  {entry.graph}/{entry.algorithm} "
+                  f"{entry.kind} K={entry.k} fp={entry.fingerprint[:12]}")
+    if args.out:
+        save_plan(shown, args.out)
+        print(f"wrote warm-set plan ({len(shown.entries)} entries) "
+              f"to {args.out}")
+    return 0
+
+
 def cmd_query(args) -> int:
     from repro.service import AnalyticsService, GraphCatalog, QueryRequest
 
     _apply_kernel_backend(args)
+    _apply_catalog_policy(args)
     graph = _load(args.graph, scale=args.scale)
     sources = _parse_sources(args, graph)
     catalog = GraphCatalog(spill_dir=args.spill_dir)
@@ -327,6 +429,7 @@ def cmd_serve_trace(args) -> int:
     )
     try:
         with _make_service(args, catalog) as service:
+            _start_prewarmer(args, service, overrides)
             report = replay_trace(
                 trace,
                 service=service,
@@ -387,6 +490,17 @@ def cmd_serve_http(args) -> int:
     with _make_service(args, catalog) as service:
         for name, graph in graphs.items():
             service.register(name, graph)
+        prewarmer = None
+        plan = _load_warm_plan(args)
+        if plan is not None:
+            from repro.service import Prewarmer
+
+            # Handed to the server unstarted: ApiServer.start() kicks
+            # it off right before binding, and /v1/healthz reports it.
+            prewarmer = Prewarmer(
+                service, plan, graphs=graphs,
+                top=getattr(args, "prewarm_top", 0) or 0,
+            )
 
         def ready(bound_host: str, bound_port: int) -> None:
             address = f"{bound_host}:{bound_port}"
@@ -405,6 +519,7 @@ def cmd_serve_http(args) -> int:
             auth_tokens=tuple(args.auth_token or ()),
             rate_limit=args.rate_limit,
             burst=args.burst,
+            prewarmer=prewarmer,
         )
         print("service metrics:")
         for key, value in service.metrics.summary().items():
@@ -419,6 +534,7 @@ def cmd_serve(args) -> int:
     from repro.service import GraphCatalog, QueryRequest
 
     _apply_kernel_backend(args)
+    _apply_catalog_policy(args)
     if args.http is not None:
         return cmd_serve_http(args)
     if args.trace is not None:
@@ -448,6 +564,7 @@ def cmd_serve(args) -> int:
     start = time.perf_counter()
     with _make_service(args, catalog, recorder=recorder) as service:
         service.register(args.graph, graph)
+        _start_prewarmer(args, service)
         n = graph.num_nodes
         requests = []
         for _ in range(args.requests):
@@ -608,6 +725,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine kernel backend: auto (cost model), numpy, "
                         "or a JIT backend like cjit/numba (docs/kernels.md); "
                         "default: $REPRO_KERNEL_BACKEND or auto")
+    p.add_argument("--catalog-policy", choices=("lru", "gdsf"), default=None,
+                   help="artifact-cache eviction policy (default: "
+                        "$REPRO_CATALOG_POLICY or lru; "
+                        "docs/cache-economics.md)")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_query)
 
@@ -665,6 +786,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=int, default=256,
                    help="catalog memory budget in MiB")
     p.add_argument("--spill-dir", default=None)
+    p.add_argument("--catalog-policy", choices=("lru", "gdsf"), default=None,
+                   help="artifact-cache eviction policy (default: "
+                        "$REPRO_CATALOG_POLICY or lru; "
+                        "docs/cache-economics.md)")
+    p.add_argument("--prewarm", default=None, metavar="PLAN",
+                   help="pre-build the warm set a forecast plan names "
+                        "(made by 'python -m repro forecast --out PLAN') "
+                        "on a background thread before serving")
+    p.add_argument("--prewarm-from-trace", default=None, metavar="TRACE",
+                   help="forecast TRACE on the fly and pre-warm its plan "
+                        "(exclusive with --prewarm)")
+    p.add_argument("--prewarm-top", type=int, default=0, metavar="N",
+                   help="only warm the N highest-scoring plan entries "
+                        "(0 = all)")
+    p.add_argument("--prewarm-wait", type=float, default=None, metavar="S",
+                   help="block up to S seconds for pre-warming before "
+                        "traffic starts (0 = until done; default: serve "
+                        "immediately while warming in the background; "
+                        "ignored with --http, where /v1/healthz reports "
+                        "progress instead)")
     p.add_argument("--kernel-backend", default=None, metavar="NAME",
                    help="engine kernel backend: auto (cost model), numpy, "
                         "or a JIT backend like cjit/numba (docs/kernels.md); "
@@ -693,6 +834,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "forecast",
+        help="mine recorded traces into a warm-set plan for serve --prewarm",
+    )
+    p.add_argument("traces", nargs="+",
+                   help="recorded JSONL trace file(s); multiple traces "
+                        "merge by artifact identity")
+    p.add_argument("--out", default=None, metavar="PLAN",
+                   help="write the plan as JSON (feed to serve --prewarm)")
+    p.add_argument("--top", type=int, default=0,
+                   help="only print the N highest-scoring entries "
+                        "(the full plan is still written to --out)")
+    p.add_argument("--buckets", type=int, default=16,
+                   help="arrival-histogram buckets per entry (default 16)")
+    p.add_argument("--malformed", choices=("strict", "skip"), default="strict",
+                   help="malformed trace-line policy (default strict)")
+    p.add_argument("--json", action="store_true",
+                   help="print the plan as JSON instead of a table")
+    p.set_defaults(func=cmd_forecast)
 
     p = sub.add_parser(
         "analyze",

@@ -56,6 +56,23 @@ from repro.errors import (
 from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
 from repro.service.batching import QueryBatch, group_requests
 from repro.service.catalog import CatalogStats, GraphCatalog
+from repro.service.economics import (
+    CATALOG_POLICIES,
+    CATALOG_POLICY_ENV,
+    EvictionPolicy,
+    GdsfPolicy,
+    LruPolicy,
+    Prewarmer,
+    WarmEntry,
+    WarmPlan,
+    forecast_trace,
+    forecast_traces,
+    load_plan,
+    make_policy,
+    resolve_plan_graphs,
+    resolve_policy,
+    save_plan,
+)
 from repro.service.executor import (
     BACKENDS,
     AnalyticsService,
@@ -110,10 +127,33 @@ __all__ = [
     "BACKENDS",
     "BatchOutcome",
     "BatchSpec",
+    "CATALOG_POLICIES",
+    "CATALOG_POLICY_ENV",
     "CatalogStats",
+    "dataset_graph_entry",
+    "default_service",
     "DigestMismatch",
+    "estimate_build_seconds",
+    "EvictionPolicy",
+    "execute_pipeline",
+    "forecast_trace",
+    "forecast_traces",
+    "GdsfPolicy",
     "GraphCatalog",
+    "group_requests",
+    "load_artifact",
+    "load_plan",
+    "load_trace",
     "LocalShard",
+    "LruPolicy",
+    "make_policy",
+    "parse_host_port",
+    "parse_priority_arg",
+    "parse_quota_arg",
+    "parse_request_payload",
+    "percentile",
+    "plan_query",
+    "Prewarmer",
     "PRIORITY_CLASSES",
     "QueryBatch",
     "QueryPlan",
@@ -122,20 +162,28 @@ __all__ = [
     "QueryResult",
     "QueryTicket",
     "QuotaExhaustedError",
+    "record_trace",
     "RemoteShardHandle",
+    "replay_trace",
     "ReplayReport",
+    "resolve_backend",
+    "resolve_plan_graphs",
+    "resolve_policy",
+    "resolve_trace_graphs",
+    "result_digest",
     "RouteDecision",
     "RoutingPolicy",
+    "save_plan",
     "ServiceMetrics",
     "ServiceOverloadError",
+    "ShardedAnalyticsService",
     "ShardHostServer",
     "ShardLost",
     "ShardSet",
-    "ShardedAnalyticsService",
     "StageTimings",
     "TenantQuota",
-    "TRACE_VERSION",
     "Trace",
+    "TRACE_VERSION",
     "TraceHeader",
     "TraceReader",
     "TraceRecorder",
@@ -143,23 +191,7 @@ __all__ = [
     "TraceResult",
     "TransformArtifact",
     "UnknownGraphError",
+    "WarmEntry",
+    "WarmPlan",
     "WorkerLost",
-    "dataset_graph_entry",
-    "default_service",
-    "estimate_build_seconds",
-    "execute_pipeline",
-    "group_requests",
-    "load_artifact",
-    "load_trace",
-    "parse_host_port",
-    "parse_priority_arg",
-    "parse_quota_arg",
-    "parse_request_payload",
-    "percentile",
-    "plan_query",
-    "record_trace",
-    "replay_trace",
-    "resolve_backend",
-    "resolve_trace_graphs",
-    "result_digest",
 ]

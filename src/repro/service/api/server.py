@@ -106,6 +106,11 @@ class ApiServer:
         executor queue before answering 503.
     default_timeout_s:
         Applied to wire requests carrying no ``timeout_s``.
+    prewarmer:
+        An unstarted :class:`~repro.service.economics.Prewarmer`;
+        :meth:`start` kicks it off just before binding, so the warm
+        set builds behind the listener while early traffic trickles
+        in.  ``/v1/healthz`` reports its progress.
     """
 
     def __init__(
@@ -121,8 +126,10 @@ class ApiServer:
         admission_wait_s: float = DEFAULT_ADMISSION_WAIT_S,
         default_timeout_s: Optional[float] = None,
         own_service: bool = False,
+        prewarmer=None,
     ) -> None:
         self.service = service
+        self.prewarmer = prewarmer
         self.host = host
         self.port = port
         self.max_body = max_body
@@ -150,6 +157,11 @@ class ApiServer:
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
         """Bind and listen; returns the bound ``(host, port)``."""
+        if self.prewarmer is not None:
+            # Background thread; start() is idempotent, so a CLI that
+            # already kicked warming off before handing us the object
+            # is fine.  Never awaited — traffic does not wait on it.
+            self.prewarmer.start()
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self.port
         )
@@ -358,16 +370,21 @@ class ApiServer:
             name: graph.fingerprint()
             for name, graph in self.service.registered().items()
         }
-        return Response(
-            200,
-            {
-                "status": "ok",
-                "version": repro.version_string(),
-                "backend": self.service.backend,
-                "workers": self.service.workers,
-                "graphs": graphs,
-            },
-        )
+        payload = {
+            "status": "ok",
+            "version": repro.version_string(),
+            "backend": self.service.backend,
+            "workers": self.service.workers,
+            "graphs": graphs,
+        }
+        if self.prewarmer is not None:
+            payload["prewarm"] = {
+                "done": self.prewarmer.done,
+                "built": self.prewarmer.built,
+                "already_warm": self.prewarmer.already_warm,
+                "skipped": self.prewarmer.skipped,
+            }
+        return Response(200, payload)
 
 
 def run_server(

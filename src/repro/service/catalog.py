@@ -38,6 +38,7 @@ from repro.core.weights import DumbWeight
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
 from repro.service.artifacts import ArtifactKey, TransformArtifact, load_artifact
+from repro.service.economics import make_policy
 
 
 @dataclass
@@ -56,6 +57,10 @@ class CatalogStats:
     seconds_saved: float = 0.0
     #: transform seconds actually spent building on misses.
     seconds_building: float = 0.0
+    #: artifacts the pre-warmer built before traffic asked for them.
+    prewarm_built: int = 0
+    #: hits (memory or disk) served from pre-warmed artifacts.
+    prewarm_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -80,17 +85,19 @@ class CatalogStats:
             "hit_rate": self.hit_rate,
             "seconds_saved": self.seconds_saved,
             "seconds_building": self.seconds_building,
+            "prewarm_built": self.prewarm_built,
+            "prewarm_hits": self.prewarm_hits,
         }
 
 
 class GraphCatalog:
-    """Content-addressed LRU cache of transform artifacts.
+    """Content-addressed cache of transform artifacts.
 
     Parameters
     ----------
     memory_budget_bytes:
         Byte budget of the memory tier.  Inserting past the budget
-        evicts least-recently-used artifacts first.  An artifact
+        evicts artifacts in the eviction policy's order.  An artifact
         larger than the whole budget is still served but never
         retained (degenerate one-entry thrash is pointless).
     spill_dir:
@@ -108,6 +115,17 @@ class GraphCatalog:
         Content-addressed keys make concurrent writers safe (same key
         = same bytes); a file lock plus atomic rename keeps them from
         duplicating work or tearing files.
+    policy:
+        Eviction policy of the memory tier: ``"lru"`` (recency order,
+        the default) or ``"gdsf"`` (Greedy-Dual-Size-Frequency,
+        ``priority = clock + frequency × build_seconds / nbytes`` —
+        protects small, expensive, frequently hit artifacts; see
+        :mod:`repro.service.economics` and docs/cache-economics.md).
+        ``None`` reads ``$REPRO_CATALOG_POLICY`` and falls back to
+        LRU; process-backend workers receive the parent's choice.
+        Policy state is guarded by the catalog lock, and its pricing
+        inputs (``build_seconds``, ``nbytes()``) ride inside spilled
+        archives, so a spill/hydrate round-trip reprices identically.
     """
 
     def __init__(
@@ -117,6 +135,7 @@ class GraphCatalog:
         spill_dir: Optional[str] = None,
         max_entries: Optional[int] = None,
         write_through: bool = False,
+        policy: Optional[str] = None,
     ) -> None:
         if memory_budget_bytes < 0:
             raise ServiceError(
@@ -131,10 +150,16 @@ class GraphCatalog:
         if spill_dir is not None:
             os.makedirs(spill_dir, exist_ok=True)
         self.stats = CatalogStats()
+        #: the active eviction policy object; every callback on it runs
+        #: under ``self._lock`` (its state shares the catalog's guard).
+        self._policy = make_policy(policy)
+        self.policy = self._policy.name
         self._entries: "OrderedDict[ArtifactKey, TransformArtifact]" = OrderedDict()
         self._lock = threading.Lock()
         #: per-key build locks for single-flight construction.
         self._building: Dict[ArtifactKey, threading.Lock] = {}
+        #: keys the pre-warmer produced; hits on them count separately.
+        self._prewarmed: "set[ArtifactKey]" = set()
 
     # ------------------------------------------------------------------
     # Lookup / insert
@@ -248,6 +273,35 @@ class GraphCatalog:
                 self._spill(key, artifact)
             return artifact, "built"
 
+    def put(self, key: ArtifactKey, artifact: TransformArtifact) -> None:
+        """Insert an externally built artifact under ``key``.
+
+        The direct-insert face of the cache for callers that already
+        hold a finished artifact (the pre-warmer, tests, offline build
+        pipelines): budget enforcement, eviction policy, and
+        write-through spill behave exactly as for a built-on-miss
+        artifact.  No build is counted — nothing was constructed here.
+        """
+        self._insert(key, artifact)
+        if self.write_through:
+            self._spill(key, artifact)
+
+    def note_prewarm(self, key: ArtifactKey, *, built: bool) -> None:
+        """Mark ``key`` as pre-warmed (and count a build when fresh).
+
+        Later hits on the key — memory or disk — are counted as
+        ``prewarm_hits``, which is how an operator tells a forecast
+        that paid off from one that warmed dead weight.
+        """
+        with self._lock:
+            self._prewarmed.add(key)
+            if built:
+                self.stats.prewarm_built += 1
+
+    def eviction_policy(self):
+        """The live policy object (read-only introspection; see tests)."""
+        return self._policy
+
     def _lookup(
         self, key: ArtifactKey, *, recount: bool = True
     ) -> "tuple[Optional[TransformArtifact], str]":
@@ -255,9 +309,12 @@ class GraphCatalog:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
+                self._policy.record_access(key, entry)
                 if recount:
                     self.stats.hits += 1
                     self.stats.seconds_saved += entry.build_seconds
+                    if key in self._prewarmed:
+                        self.stats.prewarm_hits += 1
                 return entry, "memory"
         # Disk tier, outside the memory lock: loads can be slow.
         loaded = self._load_spilled(key)
@@ -267,6 +324,8 @@ class GraphCatalog:
                     self.stats.misses += 1
                     self.stats.disk_hits += 1
                     self.stats.seconds_saved += loaded.build_seconds
+                    if key in self._prewarmed:
+                        self.stats.prewarm_hits += 1
             self._insert(key, loaded)
             return loaded, "disk"
         if recount:
@@ -295,22 +354,30 @@ class GraphCatalog:
 
     def _insert(self, key: ArtifactKey, artifact: TransformArtifact) -> None:
         size = artifact.nbytes()
-        if size > self.memory_budget_bytes:
-            return  # larger than the whole tier: serve it, don't retain it
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
+                # Same-key replacement: drop the stale entry *before*
+                # any size gate, or an over-budget replacement would
+                # leave the old build resident (and its bytes counted)
+                # while callers hold the new payload.
                 self.stats.bytes_in_memory -= old.nbytes()
+                self._policy.forget(key)
+            if size > self.memory_budget_bytes:
+                return  # larger than the whole tier: serve it, don't retain it
             self._entries[key] = artifact
             self.stats.bytes_in_memory += size
+            self._policy.record_insert(key, artifact)
             evicted = []
             while self._entries and (
                 self.stats.bytes_in_memory > self.memory_budget_bytes
                 or (self.max_entries is not None and len(self._entries) > self.max_entries)
             ):
-                victim_key, victim = self._entries.popitem(last=False)
+                victim_key = self._policy.select_victim(self._entries)
+                victim = self._entries.pop(victim_key)
                 self.stats.bytes_in_memory -= victim.nbytes()
                 self.stats.evictions += 1
+                self._policy.record_evict(victim_key)
                 evicted.append((victim_key, victim))
         for victim_key, victim in evicted:
             self._spill(victim_key, victim)
@@ -370,6 +437,7 @@ class GraphCatalog:
         with self._lock:
             self._entries.clear()
             self.stats.bytes_in_memory = 0
+            self._policy.reset()
         if drop_spilled and self.spill_dir is not None:
             for name in os.listdir(self.spill_dir):
                 if name.endswith(".npz"):

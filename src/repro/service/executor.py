@@ -308,12 +308,14 @@ class _ProcessBackend:
         memory_budget_bytes: int,
         mp_context: Optional[str],
         metrics: ServiceMetrics,
+        catalog_policy: str = "lru",
     ) -> None:
         self.workers = workers
         self.artifacts_dir = artifacts_dir
         self.graphs_dir = graphs_dir
         self.memory_budget_bytes = memory_budget_bytes
         self.metrics = metrics
+        self.catalog_policy = catalog_policy
         context = mp_context or os.environ.get(MP_CONTEXT_ENV)
         if context is None:
             # fork reuses the parent's imported interpreter (~ms);
@@ -346,7 +348,11 @@ class _ProcessBackend:
             max_workers=self.workers,
             mp_context=multiprocessing.get_context(self.mp_context),
             initializer=worker_init,
-            initargs=(self.artifacts_dir, self.memory_budget_bytes),
+            initargs=(
+                self.artifacts_dir,
+                self.memory_budget_bytes,
+                self.catalog_policy,
+            ),
         )
 
     def _warm_up(self) -> None:
@@ -503,7 +509,11 @@ class AnalyticsService:
             raise ServiceError(f"queue size must be >= 1, got {queue_size}")
         self.catalog = catalog if catalog is not None else GraphCatalog()
         self.backend = resolve_backend(backend)
-        self.metrics = ServiceMetrics(self.catalog.stats, backend=self.backend)
+        self.metrics = ServiceMetrics(
+            self.catalog.stats,
+            backend=self.backend,
+            catalog_policy=self.catalog.policy,
+        )
         self.default_timeout_s = default_timeout_s
         self.process_fallback = bool(process_fallback)
         self._recorder = recorder
@@ -527,6 +537,7 @@ class AnalyticsService:
                 memory_budget_bytes=self.catalog.memory_budget_bytes,
                 mp_context=mp_context,
                 metrics=self.metrics,
+                catalog_policy=self.catalog.policy,
             )
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"repro-serve-{i}", daemon=True)
@@ -539,6 +550,16 @@ class AnalyticsService:
     def workers(self) -> int:
         """Dispatcher-thread count (and process-pool size, if any)."""
         return len(self._workers)
+
+    @property
+    def shared_artifact_dir(self) -> Optional[str]:
+        """The disk tier process workers hydrate from (None for threads).
+
+        Builds that should benefit the worker pool — the pre-warmer's,
+        chiefly — must land here: worker catalogs cannot see the
+        front-end's memory tier.
+        """
+        return self._process.artifacts_dir if self._process is not None else None
 
     def _make_queue(self, queue_size: int) -> "queue.Queue[Optional[_WorkItem]]":
         """Build the submission queue; the subclass discipline hook.

@@ -69,11 +69,14 @@ class ServiceMetrics:
         catalog_stats: Optional[CatalogStats] = None,
         *,
         backend: str = "threads",
+        catalog_policy: str = "lru",
     ) -> None:
         self._lock = threading.Lock()
         self._stage_samples: Dict[str, List[float]] = {s: [] for s in STAGES}
         self._catalog_stats = catalog_stats
         self.backend = backend
+        #: eviction policy of the attached catalog (labels evictions).
+        self.catalog_policy = catalog_policy
         self.queries_total = 0
         self.queries_failed = 0
         self.queries_degraded = 0
@@ -251,6 +254,18 @@ class ServiceMetrics:
                 return 0.0
             return self.cache_hits / self.queries_total
 
+    def evictions_by_policy(self) -> Dict[str, int]:
+        """Catalog evictions attributed to the active eviction policy.
+
+        One catalog runs one policy, so the dict has one entry — keyed
+        by policy name so dashboards comparing deployments (or the
+        cache-policy bench sweeping both) aggregate without relabeling.
+        Empty when no catalog stats are attached.
+        """
+        if self._catalog_stats is None:
+            return {}
+        return {self.catalog_policy: self._catalog_stats.evictions}
+
     def stage_percentile(self, stage: str, fraction: float) -> float:
         """Latency percentile (seconds) of one serving stage."""
         with self._lock:
@@ -351,4 +366,10 @@ class ServiceMetrics:
         if self._catalog_stats is not None:
             for key, value in self._catalog_stats.as_dict().items():
                 out[f"catalog_{key}"] = value
+            # pre-warm and policy telemetry at top level too: these are
+            # the knobs docs/cache-economics.md tells operators to watch.
+            out["prewarm_built"] = self._catalog_stats.prewarm_built
+            out["prewarm_hits"] = self._catalog_stats.prewarm_hits
+            for policy, evictions in self.evictions_by_policy().items():
+                out[f"evictions_{policy}"] = evictions
         return out

@@ -306,13 +306,26 @@ _WORKER_CATALOG: Optional[GraphCatalog] = None
 _WORKER_GRAPHS: Dict[str, CSRGraph] = {}
 
 
-def worker_init(artifacts_dir: str, memory_budget_bytes: int) -> None:
-    """Pool initializer: build this process's catalog over the shared tier."""
+def worker_init(
+    artifacts_dir: str,
+    memory_budget_bytes: int,
+    catalog_policy: Optional[str] = None,
+) -> None:
+    """Pool initializer: build this process's catalog over the shared tier.
+
+    ``catalog_policy`` carries the parent catalog's eviction policy
+    explicitly (rather than relying on ``$REPRO_CATALOG_POLICY`` env
+    inheritance alone), so a service built with ``policy="gdsf"`` in
+    code gets GDSF workers too — and since ``build_seconds`` rides in
+    every write-through ``.npz``, a worker hydrating the shared tier
+    prices artifacts exactly as the parent does.
+    """
     global _WORKER_CATALOG
     _WORKER_CATALOG = GraphCatalog(
         memory_budget_bytes,
         spill_dir=artifacts_dir,
         write_through=True,
+        policy=catalog_policy,
     )
     _WORKER_GRAPHS.clear()
 

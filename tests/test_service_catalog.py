@@ -143,6 +143,29 @@ class TestLRUAndBudget:
         with pytest.raises(ServiceError):
             GraphCatalog(memory_budget_bytes=-1)
 
+    def test_oversized_same_key_replacement_clears_stale_entry(self):
+        # Regression: replacing a resident entry with a build that is
+        # larger than the whole budget used to return early *before*
+        # popping the old entry — the stale artifact stayed resident
+        # (and its bytes stayed accounted) while callers held the new
+        # payload.  Reachable through hydrate-after-rebuild and the
+        # prewarmer's put path; the guard must drop the stale entry.
+        graphs = make_graphs(2, nodes=40, edges=150)
+        small = GraphCatalog().get_or_build(graphs[0], "virtual+", 10)
+        key = small.key
+        budget = small.nbytes() * 2
+        catalog = GraphCatalog(memory_budget_bytes=budget)
+        catalog._insert(key, small)
+        assert catalog.stats.bytes_in_memory == small.nbytes()
+        big = TransformArtifact(
+            key=key, payload=rmat(4000, 30000, seed=9), build_seconds=0.5
+        )
+        assert big.nbytes() > budget
+        catalog._insert(key, big)
+        assert key not in catalog
+        assert catalog.peek(key) is None
+        assert catalog.stats.bytes_in_memory == 0
+
 
 class TestDiskSpill:
     def test_spill_round_trip_virtual(self, graph, tmp_path):
